@@ -1,0 +1,8 @@
+"""The benchmark harness: one module per paper table/figure plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only``; each bench regenerates
+its experiment, prints the rows next to the paper's numbers, asserts the
+qualitative shape, and persists the output under ``benchmarks/results/``.
+``REPRO_FULL=1`` selects paper-scale workloads.  See EXPERIMENTS.md for
+the paper-vs-measured record.
+"""

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: it computes the
+rows once inside the pytest-benchmark fixture, prints them, and appends
+them to ``benchmarks/results/<name>.txt`` so ``pytest benchmarks/
+--benchmark-only`` leaves a reviewable artifact even with output capture
+on.
+
+Scale control: the full paper-scale workloads take tens of minutes in a
+pure-Python simulator; the default scales are documented per bench and in
+EXPERIMENTS.md.  Set ``REPRO_FULL=1`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def record(name: str, lines: list[str]) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def one_shot(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark (these benches measure
+    virtual time and table shapes; wall-clock repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,67 @@
+"""Ablation — engine scheduling modes (DESIGN.md §5.1) + raw throughput.
+
+``run_to_block`` buys replay determinism at one token handoff per
+blocking event; ``rr`` switches on every call; ``free`` runs real
+threads.  This bench measures the simulator's wall-clock throughput in
+each mode (a property of the substrate, not of the paper) via
+pytest-benchmark's real timing, and checks all modes agree semantically.
+"""
+
+import pytest
+
+from repro.mpi.constants import SUM
+from repro.mpi.runtime import run_program
+
+NPROCS = 16
+ROUNDS = 30
+
+
+def ring_job(p):
+    acc = 0
+    for _ in range(ROUNDS):
+        r = p.world.irecv(source=(p.rank - 1) % p.size)
+        p.world.send(p.rank, dest=(p.rank + 1) % p.size)
+        acc += r.wait().source
+    return p.world.allreduce(acc, op=SUM)
+
+
+@pytest.mark.parametrize("mode", ["run_to_block", "rr", "free"])
+def test_scheduler_mode_throughput(benchmark, mode):
+    def run():
+        res = run_program(ring_job, NPROCS, mode=mode)
+        res.raise_any()
+        return res
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    # all modes compute the same answer (the ring sum is schedule-invariant)
+    expected = sum((r - 1) % NPROCS for r in range(NPROCS)) * ROUNDS
+    assert set(res.returns.values()) == {expected}
+
+
+def test_engine_p2p_roundtrip_throughput(benchmark):
+    """Raw substrate speed: messages per second through the engine."""
+
+    def pingpong(p):
+        for _ in range(200):
+            if p.rank == 0:
+                p.world.send(b"x", dest=1)
+                p.world.recv(source=1)
+            else:
+                p.world.recv(source=0)
+                p.world.send(b"y", dest=0)
+
+    def run():
+        run_program(pingpong, 2).raise_any()
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_engine_collective_throughput(benchmark):
+    def storm(p):
+        for i in range(100):
+            p.world.allreduce(i, op=SUM)
+
+    def run():
+        run_program(storm, 8).raise_any()
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

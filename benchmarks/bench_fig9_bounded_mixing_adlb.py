@@ -1,0 +1,69 @@
+"""Fig. 9 — ADLB with bounded mixing: interleavings vs process count.
+
+Paper result: ADLB's non-determinism (every server receive is a wildcard)
+is "far beyond that of a typical MPI program" — unbounded verification is
+impractical even at a dozen processes, but k=0/1/2 bounded mixing keeps
+it tractable, with interleavings growing steeply in k (up to ~55K at 32
+procs for k=2 in the paper).  We run a seeded batch app over one ADLB
+server and report explored interleavings per (procs, k), capped.
+"""
+
+from repro.adlb import adlb_run, batch_app
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier
+
+from benchmarks._util import FULL, one_shot, record
+
+PROCS = (4, 8, 12, 16) if FULL else (4, 6, 8)
+CAP = 3000 if FULL else 1200
+KS = (0, 1, 2)
+
+
+def adlb_job(p):
+    return adlb_run(p, batch_app, num_servers=1, units_per_worker=1)
+
+
+def run_fig9():
+    table = {}
+    for np_ in PROCS:
+        row = {}
+        for k in KS:
+            cfg = DampiConfig(
+                bound_k=k,
+                max_interleavings=CAP,
+                enable_monitor=False,
+                enable_leak_check=False,
+            )
+            rep = DampiVerifier(adlb_job, np_, cfg).verify()
+            assert not rep.errors, rep.summary()
+            row[k] = (rep.interleavings, rep.truncated)
+        table[np_] = row
+    return table
+
+
+def test_fig9(benchmark):
+    table = one_shot(benchmark, run_fig9)
+    lines = [
+        f"Fig. 9 — ADLB with bounded mixing (interleavings; cap {CAP})",
+        f"{'procs':>6} | " + " | ".join(f"{f'k={k}':>8}" for k in KS),
+    ]
+    for np_ in PROCS:
+        cells = [
+            f"{table[np_][k][0]}{'+' if table[np_][k][1] else ''}" for k in KS
+        ]
+        lines.append(f"{np_:>6} | " + " | ".join(f"{c:>8}" for c in cells))
+
+    for np_ in PROCS:
+        counts = [table[np_][k][0] for k in KS]
+        assert counts == sorted(counts), f"k-monotonicity broken at {np_} procs"
+    # ADLB's signature: even k=1 is explosive relative to k=0
+    big = PROCS[-1]
+    assert table[big][1][0] > 4 * table[big][0][0]
+    # k=0 grows with procs and every run keeps work conservation intact
+    k0 = [table[np_][0][0] for np_ in PROCS]
+    assert all(b > a for a, b in zip(k0, k0[1:]))
+    lines.append(
+        "shape: per-k counts grow with procs; k=1/2 explode exactly as the "
+        "paper describes for ADLB ('+' marks the cap)."
+    )
+    record("fig9_bounded_mixing_adlb", lines)

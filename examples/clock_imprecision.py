@@ -1,0 +1,61 @@
+"""Lamport vs vector clocks on the cross-coupled pattern (paper Fig. 4).
+
+Two wildcard receives on different ranks can alternatively match each
+other's cross sends, but each cross send carries a Lamport clock equal to
+the remote epoch's post-tick value — Lamport-DAMPI judges it causally
+after the epoch and never explores the match.  Vector clocks keep the
+epochs incomparable and restore completeness (at O(nprocs) piggyback
+cost); here the extra coverage even exposes latent deadlocks.
+
+Also demonstrates the §V omission monitor on the Fig. 10 pattern, the
+other known coverage gap.
+
+Run:  python examples/clock_imprecision.py
+"""
+
+from repro import DampiConfig, DampiVerifier
+from repro.workloads.patterns import fig4_program, fig10_program
+
+
+def main() -> None:
+    print("== Fig. 4 cross-coupled pattern ==\n")
+    for impl in ("lamport", "vector"):
+        cfg = DampiConfig(clock_impl=impl)
+        report = DampiVerifier(fig4_program, 4, cfg).verify()
+        deadlocks = len(report.deadlocks)
+        print(
+            f"  {impl:7s} clocks: {report.interleavings} interleaving(s), "
+            f"{deadlocks} deadlock(s) found"
+        )
+    print(
+        "\n  Lamport clocks miss both cross matches (paper §II-F); vector\n"
+        "  clocks find the full space of 3 feasible outcomes, two of which\n"
+        "  starve a deterministic receive into a real deadlock.\n"
+    )
+
+    print("== Fig. 10 omission pattern: the monitor's job ==\n")
+    report = DampiVerifier(fig10_program, 3).verify()
+    print(f"  interleavings explored: {report.interleavings} (the bug stays hidden)")
+    for alert in report.monitor_report.alerts:
+        print(f"  MONITOR ALERT: {alert}")
+    print(
+        "\n  The clock escaped through a barrier before the wildcard's Wait,\n"
+        "  so the competing send no longer looks late.  DAMPI cannot explore\n"
+        "  that match — but its local monitor tells you coverage is at risk.\n"
+    )
+
+    print("== §V's proposed fix, implemented: dual clocks ==\n")
+    cfg = DampiConfig(clock_impl="lamport_dual")
+    report = DampiVerifier(fig10_program, 3, cfg).verify()
+    print(f"  interleavings explored: {report.interleavings}")
+    for error in report.errors:
+        print(f"  FOUND: {error}")
+    print(
+        "\n  With the (epoch, transmit) clock pair, the tick only becomes\n"
+        "  transmittable at the Wait — the barrier carries the old value,\n"
+        "  the competing send stays late, and the hidden crash is caught."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Witness files: ship a schedule, replay a Heisenbug deterministically.
+
+A found defect is only useful if a colleague can reproduce it.  DAMPI's
+Epoch Decisions files are portable JSON: this example finds the Fig. 3
+bug, saves the witness schedule to disk, reloads it in a fresh session,
+and replays the exact failing interleaving.
+
+Run:  python examples/heisenbug_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DampiVerifier
+from repro.dampi.decisions import EpochDecisions
+from repro.workloads.patterns import fig3_program
+
+
+def main() -> None:
+    print("== 1. hunt: verify and capture the witness ==")
+    report = DampiVerifier(fig3_program, 3).verify()
+    crash = next(e for e in report.errors if e.kind == "crash")
+    print(f"   found: {crash}")
+
+    witness_path = Path(tempfile.gettempdir()) / "fig3_witness.json"
+    crash.decisions.save(witness_path)
+    print(f"   witness saved to {witness_path}\n")
+
+    print("== 2. elsewhere: reload the schedule and replay it ==")
+    decisions = EpochDecisions.load(witness_path)
+    print(f"   loaded {decisions}")
+
+    verifier = DampiVerifier(fig3_program, 3)
+    result, trace = verifier.run_once(decisions)
+    errors = result.primary_errors
+    print(f"   replay errors: { {r: str(e) for r, e in errors.items()} }")
+    assert errors, "the witness must reproduce the crash deterministically"
+
+    print("\n== 3. replay again: identical outcome every time ==")
+    for i in range(3):
+        result, _ = DampiVerifier(fig3_program, 3).run_once(
+            EpochDecisions.load(witness_path)
+        )
+        assert result.primary_errors
+        print(f"   replay {i + 1}: crash reproduced")
+    witness_path.unlink()
+
+
+if __name__ == "__main__":
+    main()

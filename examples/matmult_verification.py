@@ -1,0 +1,46 @@
+"""Verifying a master/slave matrix multiplication, with search bounding.
+
+The paper's matmul benchmark: the master farms row blocks to slaves and
+collects results with wildcard receives.  Its interleaving space grows
+exponentially with the number of blocks; this example shows
+
+* full verification (every wildcard match order) with the functional
+  invariant ``C == A @ B`` checked in each interleaving,
+* bounded mixing (``k`` = 0, 1, 2) shrinking the space (paper Fig. 8),
+* loop iteration abstraction (``MPI_Pcontrol``) collapsing the farm loop
+  to a single self-run schedule (paper §III-B1).
+
+Run:  python examples/matmult_verification.py
+"""
+
+from repro import DampiConfig, DampiVerifier
+from repro.workloads.matmult import matmult_abstracted, matmult_program
+
+
+def main() -> None:
+    nprocs = 4
+    kwargs = {"n": 12, "blocks_per_slave": 2}
+
+    print(f"matmult on {nprocs} ranks, {kwargs['blocks_per_slave']} blocks/slave")
+    print("(every interleaving re-checks C == A @ B)\n")
+
+    print(f"{'search':>22} | interleavings | errors")
+    print("-" * 48)
+    for label, cfg in [
+        ("k=0", DampiConfig(bound_k=0)),
+        ("k=1", DampiConfig(bound_k=1)),
+        ("k=2", DampiConfig(bound_k=2)),
+        ("unbounded", DampiConfig()),
+    ]:
+        report = DampiVerifier(matmult_program, nprocs, cfg, kwargs=kwargs).verify()
+        print(f"{label:>22} | {report.interleavings:13d} | {len(report.errors)}")
+
+    report = DampiVerifier(matmult_abstracted, nprocs, kwargs=kwargs).verify()
+    print(f"{'pcontrol-abstracted':>22} | {report.interleavings:13d} | {len(report.errors)}")
+
+    print("\nbounded mixing trades coverage for cost; the abstraction keeps")
+    print("only the self-run schedule for the marked loop (paper §III-B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""OSU-style microbenchmarks in virtual time, with and without DAMPI.
+
+Characterises the cost model the paper-shaped figures run on: ping-pong
+latency vs message size, sustained bandwidth, allreduce scaling — each
+measured natively and under DAMPI instrumentation, so the per-operation
+tool overhead (the substance of Table II) is visible at the primitive
+level.
+
+Run:  python examples/microbenchmarks.py
+"""
+
+import numpy as np
+
+from repro.dampi.clock_module import DampiClockModule
+from repro.dampi.piggyback import PiggybackModule
+from repro.mpi.constants import SUM
+from repro.mpi.runtime import run_program
+
+
+def pingpong(p, nbytes, iters=50):
+    payload = np.zeros(max(1, nbytes // 8))
+    t0 = p.wtime()
+    for _ in range(iters):
+        if p.rank == 0:
+            p.world.send(payload, dest=1)
+            p.world.recv(source=1)
+        else:
+            p.world.recv(source=0)
+            p.world.send(payload, dest=0)
+    return (p.wtime() - t0) / (2 * iters)  # one-way latency
+
+
+def allreduce_bench(p, iters=100):
+    t0 = p.wtime()
+    for i in range(iters):
+        p.world.allreduce(i, op=SUM)
+    return (p.wtime() - t0) / iters
+
+
+def run(program, nprocs, dampi=False, **kwargs):
+    modules = []
+    if dampi:
+        pb = PiggybackModule()
+        modules = [DampiClockModule(pb), pb]
+    res = run_program(program, nprocs, modules=modules, kwargs=kwargs)
+    res.raise_any()
+    return max(res.returns.values())
+
+
+def main() -> None:
+    print("== ping-pong one-way latency (2 ranks) ==")
+    print(f"{'bytes':>9} | {'native':>10} | {'DAMPI':>10} | overhead")
+    for nbytes in (8, 1024, 65536, 1 << 20):
+        nat = run(pingpong, 2, nbytes=nbytes)
+        dam = run(pingpong, 2, dampi=True, nbytes=nbytes)
+        print(
+            f"{nbytes:>9} | {nat * 1e6:8.2f}us | {dam * 1e6:8.2f}us | "
+            f"{dam / nat:5.2f}x"
+        )
+    print(
+        "\n  small messages pay the fixed piggyback cost; large ones amortise"
+        "\n  it into the wire time — Table II's pattern at the primitive level."
+    )
+
+    print("\n== allreduce latency vs communicator size ==")
+    print(f"{'procs':>6} | {'native':>10} | {'DAMPI':>10}")
+    for nprocs in (2, 8, 32, 128):
+        nat = run(allreduce_bench, nprocs)
+        dam = run(allreduce_bench, nprocs, dampi=True)
+        print(f"{nprocs:>6} | {nat * 1e6:8.2f}us | {dam * 1e6:8.2f}us")
+    print("\n  logarithmic scaling (tree collectives) in both columns; DAMPI")
+    print("  adds one shadow allreduce of a single clock value.")
+
+
+if __name__ == "__main__":
+    main()

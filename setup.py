@@ -1,0 +1,6 @@
+"""Legacy shim: the environment's setuptools (65.x, no `wheel`) cannot build
+PEP-517 editable wheels, so `pip install -e .` needs the setup.py path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""ADLB — an Asynchronous Dynamic Load Balancing library, from scratch.
+
+The paper evaluates DAMPI's bounded mixing on Argonne's ADLB (Lusk et
+al.), a work-sharing library whose servers drive everything through
+``MPI_ANY_SOURCE`` receives — "due to its highly dynamic nature, the
+degree of non-determinism of ADLB is usually far beyond that of a typical
+MPI program" (§III-B2).  ISP could not verify it at all; DAMPI with
+bounded mixing could (Fig. 9).
+
+This package implements the same architecture on the simulated runtime:
+
+* the world splits into *server* ranks and *application* ranks;
+* application ranks ``put`` typed work units and ``get`` work, both via
+  their home server;
+* servers run a wildcard-receive event loop, steal work from each other
+  when their queues run dry, and detect global termination with a
+  channel-counting protocol (Mattern-style) that tolerates in-flight
+  steal traffic.
+
+See :mod:`repro.adlb.library` for the protocol details and
+:func:`repro.adlb.apps.batch_app` for the Fig. 9 workload.
+"""
+
+from repro.adlb.library import AdlbContext, adlb_run
+from repro.adlb.apps import batch_app, tree_app
+
+__all__ = ["AdlbContext", "adlb_run", "batch_app", "tree_app"]

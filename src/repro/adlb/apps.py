@@ -1,0 +1,70 @@
+"""ADLB applications used by tests, examples, and the Fig. 9 bench."""
+
+from __future__ import annotations
+
+import random
+
+
+def batch_app(ctx, units_per_worker: int = 3, work_cost: float = 2.0e-6):
+    """The Fig. 9 workload: every worker seeds ``units_per_worker`` work
+    units, then processes whatever the pool hands it until termination.
+
+    Returns ``(processed_count, checksum)``; the global sum of processed
+    counts must equal the global number of puts — an invariant the ADLB
+    tests assert under every forced interleaving.
+    """
+    for i in range(units_per_worker):
+        ctx.put(("unit", ctx.rank, i), work_type=0)
+    processed = 0
+    checksum = 0
+    while True:
+        item = ctx.get(work_type=0)
+        if item is None:
+            break
+        _, origin, idx = item
+        ctx.p.compute(work_cost)
+        processed += 1
+        checksum += origin * 31 + idx
+    return processed, checksum
+
+
+def tree_app(ctx, depth: int = 3, branch: int = 2, work_cost: float = 2.0e-6):
+    """Recursive work generation: processing a unit at depth < ``depth``
+    puts ``branch`` children — the dynamic, unpredictable load pattern
+    ADLB exists for.  Deterministic given the put/get outcomes.
+
+    Only worker 'num_servers' seeds the root, so all other workers feed
+    purely off stolen/shared work.
+    """
+    if ctx.rank == ctx.num_servers:
+        ctx.put(("node", 0, 0), work_type=0)
+    processed = 0
+    while True:
+        item = ctx.get(work_type=0)
+        if item is None:
+            break
+        _, d, path = item
+        ctx.p.compute(work_cost)
+        processed += 1
+        if d < depth:
+            for b in range(branch):
+                ctx.put(("node", d + 1, path * branch + b), work_type=0)
+    return processed
+
+
+def priority_app(ctx, units: int = 4):
+    """Exercises the priority path: high-priority units must be served
+    before low-priority ones that were put earlier (single-server case).
+    Returns the list of priorities in service order."""
+    if ctx.rank == ctx.num_servers:
+        rng = random.Random(7)
+        priorities = [rng.randrange(4) for _ in range(units)]
+        for i, prio in enumerate(priorities):
+            ctx.put(("job", i), work_type=1, priority=prio)
+    served = []
+    while True:
+        item = ctx.get(work_type=1)
+        if item is None:
+            break
+        served.append(item)
+    return served

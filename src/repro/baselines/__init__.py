@@ -1,0 +1,25 @@
+"""Related-work baselines (paper §IV), built to be compared against.
+
+The paper positions DAMPI against two families of tools:
+
+* **trace-based record/replay** (ScalaTrace [25], MPIWiz [26]): capture
+  one execution's matches and replay them deterministically — "they do
+  not have the ability to analyze the observed schedule and derive from
+  them alternate schedules".  :mod:`repro.baselines.tracereplay`
+  implements this family on our runtime; its tests pin the limitation.
+* **schedule perturbation** (Jitterbug [3], Marmot [23], Intel Message
+  Checker [24]): randomise matching and hope — no coverage guarantee.
+  This family is represented by the engine's seeded-random match policy
+  (``policy="random:<seed>"``); `bench_ablation_bounding.py` quantifies
+  its coverage against DAMPI's on an equal run budget.
+"""
+
+from repro.baselines.tracereplay import RecordedTrace, TraceRecorder, TraceReplayer, record_run, replay_run
+
+__all__ = [
+    "RecordedTrace",
+    "TraceRecorder",
+    "TraceReplayer",
+    "record_run",
+    "replay_run",
+]

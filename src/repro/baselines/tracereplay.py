@@ -1,0 +1,205 @@
+"""Record-and-replay of MPI match outcomes (the ScalaTrace/MPIWiz family).
+
+:class:`TraceRecorder` logs, per rank, the resolved ``(source, tag)`` of
+every completed receive and every observed probe, in completion order.
+:class:`TraceReplayer` consumes such a trace and determinizes the next
+execution: each wildcard receive/probe is rewritten to its recorded
+source before reaching the MPI library — exactly how replay debuggers
+pin down a Heisenbug *after* it has been seen.
+
+What this family cannot do — and the tests pin — is produce any schedule
+that was never observed: there is no analysis connecting the recorded
+matches to the alternatives the MPI semantics would also have allowed.
+That analysis is DAMPI's contribution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReplayDivergenceError
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.request import Request, RequestKind
+from repro.pnmpi.module import ToolModule
+
+
+@dataclass
+class RecordedTrace:
+    """Per-rank completion-ordered match log.
+
+    ``events[rank]`` is a list of ``(kind, source, tag)`` with kind in
+    ``{"recv", "probe"}``; sources/tags are the *resolved* values.
+    """
+
+    nprocs: int
+    events: dict[int, list[tuple[str, int, int]]] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "nprocs": self.nprocs,
+                "events": {str(r): evs for r, evs in self.events.items()},
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RecordedTrace":
+        payload = json.loads(text)
+        if payload.get("version") != 1:
+            raise ValueError("unsupported trace version")
+        return cls(
+            nprocs=payload["nprocs"],
+            events={
+                int(r): [tuple(e) for e in evs]
+                for r, evs in payload["events"].items()
+            },
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "RecordedTrace":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.events.values())
+
+
+class TraceRecorder(ToolModule):
+    """Records resolved receive/probe outcomes in completion order."""
+
+    name = "tracerec"
+
+    def __init__(self) -> None:
+        self._events: dict[int, list] = {}
+
+    def setup(self, runtime) -> None:
+        self._events = {r: [] for r in range(runtime.nprocs)}
+
+    def _log_recv(self, proc, status) -> None:
+        if status is not None and status.source >= 0:
+            self._events[proc.world_rank].append(("recv", status.source, status.tag))
+
+    def wait(self, proc, chain, req):
+        status = chain(req)
+        if req.kind is RequestKind.RECV:
+            self._log_recv(proc, status)
+        return status
+
+    def test(self, proc, chain, req):
+        flag, status = chain(req)
+        if flag and req.kind is RequestKind.RECV:
+            self._log_recv(proc, status)
+        return flag, status
+
+    def probe(self, proc, chain, comm, source, tag):
+        status = chain(comm, source, tag)
+        self._events[proc.world_rank].append(("probe", status.source, status.tag))
+        return status
+
+    def iprobe(self, proc, chain, comm, source, tag):
+        flag, status = chain(comm, source, tag)
+        if flag:
+            self._events[proc.world_rank].append(("probe", status.source, status.tag))
+        return flag, status
+
+    def finish(self, runtime) -> RecordedTrace:
+        return RecordedTrace(nprocs=runtime.nprocs, events=self._events)
+
+
+class TraceReplayer(ToolModule):
+    """Rewrites wildcard selectors to a recorded trace's resolved values.
+
+    Rewriting happens at *post* time using the rank's next unreplayed
+    event — valid because completions on one rank occur in post order for
+    the deterministic programs this family targets.  A mismatch between
+    the program's behaviour and the trace raises
+    :class:`ReplayDivergenceError` (the replay-debugger failure mode).
+    """
+
+    name = "tracereplay"
+
+    def __init__(self, trace: RecordedTrace):
+        self.trace = trace
+        self._cursor: dict[int, int] = {}
+
+    def setup(self, runtime) -> None:
+        if runtime.nprocs != self.trace.nprocs:
+            raise ReplayDivergenceError(
+                f"trace was recorded at {self.trace.nprocs} ranks, "
+                f"replaying at {runtime.nprocs}"
+            )
+        self._cursor = {r: 0 for r in range(runtime.nprocs)}
+
+    def _next_event(self, rank: int, kind: str):
+        events = self.trace.events.get(rank, [])
+        i = self._cursor[rank]
+        if i >= len(events):
+            raise ReplayDivergenceError(
+                f"rank {rank} performed more {kind}s than the trace recorded"
+            )
+        self._cursor[rank] = i + 1
+        ev_kind, source, tag = events[i]
+        if ev_kind != kind:
+            raise ReplayDivergenceError(
+                f"rank {rank} event {i}: trace has {ev_kind}, program did {kind}"
+            )
+        return source, tag
+
+    def irecv(self, proc, chain, comm, source, tag):
+        rec_source, rec_tag = self._next_event(proc.world_rank, "recv")
+        if source == ANY_SOURCE:
+            source = rec_source
+        elif source != rec_source:
+            raise ReplayDivergenceError(
+                f"rank {proc.world_rank}: receive from {source} but trace says "
+                f"{rec_source}"
+            )
+        from repro.mpi.constants import ANY_TAG
+
+        if tag == ANY_TAG:
+            tag = rec_tag
+        return chain(comm, source, tag)
+
+    def probe(self, proc, chain, comm, source, tag):
+        rec_source, rec_tag = self._next_event(proc.world_rank, "probe")
+        if source == ANY_SOURCE:
+            source = rec_source
+        return chain(comm, source, tag)
+
+    def iprobe(self, proc, chain, comm, source, tag):
+        # only successful iprobes were recorded; force the recorded source
+        # and block for it so the observation is reproduced
+        events = self.trace.events.get(proc.world_rank, [])
+        i = self._cursor[proc.world_rank]
+        if i < len(events) and events[i][0] == "probe" and source == ANY_SOURCE:
+            self._cursor[proc.world_rank] = i + 1
+            status = proc.pmpi.probe(comm, events[i][1], events[i][2])
+            return True, status
+        return chain(comm, source, tag)
+
+    def finish(self, runtime) -> dict:
+        return {"replayed_events": dict(self._cursor)}
+
+
+def record_run(program, nprocs: int, *, policy="arrival", **kw):
+    """Run once and capture the match trace; returns (RunResult, trace)."""
+    from repro.mpi.runtime import run_program
+
+    recorder = TraceRecorder()
+    result = run_program(program, nprocs, modules=[recorder], policy=policy, **kw)
+    return result, result.artifacts["tracerec"]
+
+
+def replay_run(program, nprocs: int, trace: RecordedTrace, **kw):
+    """Re-execute a program pinned to a recorded trace."""
+    from repro.mpi.runtime import run_program
+
+    return run_program(program, nprocs, modules=[TraceReplayer(trace)], **kw)

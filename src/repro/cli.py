@@ -1,0 +1,242 @@
+"""Command-line front end: verify and replay MPI programs.
+
+Examples::
+
+    # verify a program over its wildcard non-determinism
+    python -m repro verify repro.workloads.patterns:fig3_program --nprocs 3
+
+    # bounded mixing, budget, vector clocks, saved witnesses
+    python -m repro verify mymod:my_program --nprocs 8 --bound-k 2 \\
+        --max-interleavings 500 --clock vector --witness-dir ./witnesses
+
+    # deterministically replay a saved witness schedule
+    python -m repro replay repro.workloads.patterns:fig3_program \\
+        --nprocs 3 --decisions ./witnesses/error0.json
+
+A program is addressed as ``module.path:callable``; the callable takes a
+:class:`repro.mpi.process.Proc` as its first argument.  Keyword arguments
+are passed as JSON via ``--kwargs``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.dampi.config import DampiConfig
+from repro.dampi.decisions import EpochDecisions
+from repro.dampi.verifier import DampiVerifier
+from repro.isp.verifier import IspVerifier
+
+
+def resolve_program(spec: str) -> Callable:
+    """Import ``module.path:callable``."""
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not attr:
+        raise SystemExit(f"program must be 'module:callable', got {spec!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as e:
+        raise SystemExit(f"cannot import {module_name!r}: {e}") from e
+    try:
+        program = getattr(module, attr)
+    except AttributeError:
+        raise SystemExit(f"{module_name!r} has no attribute {attr!r}") from None
+    if not callable(program):
+        raise SystemExit(f"{spec!r} is not callable")
+    return program
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAMPI: dynamic formal verification of MPI programs "
+        "(SC'10 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("program", help="program as module.path:callable")
+        p.add_argument("--nprocs", "-n", type=int, required=True, help="rank count")
+        p.add_argument(
+            "--kwargs", default="{}", help="JSON dict of program keyword arguments"
+        )
+        p.add_argument(
+            "--policy",
+            default="arrival",
+            help="wildcard match policy for SELF_RUN (arrival|lowest_rank|"
+            "highest_rank|random:<seed>)",
+        )
+
+    v = sub.add_parser("verify", help="explore the wildcard match space")
+    common(v)
+    v.add_argument(
+        "--clock",
+        default="lamport",
+        choices=DampiConfig._CLOCK_IMPLS,
+        help="causality tracker (default: lamport, the paper's)",
+    )
+    v.add_argument(
+        "--piggyback",
+        default="separate",
+        choices=("separate", "inline"),
+        help="clock transport mechanism (default: separate messages)",
+    )
+    v.add_argument(
+        "--bound-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bounded mixing window (default: unbounded full coverage)",
+    )
+    v.add_argument(
+        "--max-interleavings", type=int, default=None, help="exploration budget"
+    )
+    v.add_argument(
+        "--max-seconds", type=float, default=None, help="wall-clock budget"
+    )
+    v.add_argument(
+        "--baseline",
+        action="store_true",
+        help="use the centralized ISP baseline instead of DAMPI",
+    )
+    v.add_argument(
+        "--no-monitor", action="store_true", help="disable the §V omission monitor"
+    )
+    v.add_argument(
+        "--no-leak-check", action="store_true", help="disable leak checking"
+    )
+    v.add_argument(
+        "--witness-dir",
+        type=Path,
+        default=None,
+        help="save each found error's Epoch Decisions witness here",
+    )
+    v.add_argument(
+        "--artifacts-dir",
+        default=None,
+        help="write every run's epochs / potential-match / decision files "
+        "here (the paper's Fig. 1 file tree)",
+    )
+    v.add_argument(
+        "--show-runs",
+        action="store_true",
+        help="print the per-run table (flipped epoch, matches, outcome)",
+    )
+
+    e = sub.add_parser(
+        "escalate",
+        help="verify with widening bounded-mixing stages (k=0,1,2,unbounded)",
+    )
+    common(e)
+    e.add_argument(
+        "--run-budget", type=int, default=2000, help="total interleaving budget"
+    )
+    e.add_argument(
+        "--clock", default="lamport", choices=DampiConfig._CLOCK_IMPLS
+    )
+    e.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="continue escalating after an error is found",
+    )
+
+    r = sub.add_parser("replay", help="re-run one schedule from a decisions file")
+    common(r)
+    r.add_argument(
+        "--decisions",
+        type=Path,
+        required=True,
+        help="Epoch Decisions JSON (a witness from 'verify')",
+    )
+    r.add_argument(
+        "--clock", default="lamport", choices=DampiConfig._CLOCK_IMPLS
+    )
+    return parser
+
+
+def cmd_verify(args) -> int:
+    program = resolve_program(args.program)
+    kwargs = json.loads(args.kwargs)
+    config = DampiConfig(
+        clock_impl=args.clock,
+        piggyback=args.piggyback,
+        bound_k=args.bound_k,
+        max_interleavings=args.max_interleavings,
+        max_seconds=args.max_seconds,
+        policy=args.policy,
+        enable_monitor=not args.no_monitor,
+        enable_leak_check=not args.no_leak_check,
+        artifacts_dir=args.artifacts_dir,
+    )
+    cls = IspVerifier if args.baseline else DampiVerifier
+    verifier = cls(program, args.nprocs, config, kwargs=kwargs)
+    report = verifier.verify()
+    print(report.summary())
+    if args.show_runs:
+        print(report.run_table())
+    if report.monitor_report and report.monitor_report.triggered:
+        for alert in report.monitor_report.alerts:
+            print(f"  alert: {alert}")
+    if args.witness_dir is not None and report.errors:
+        args.witness_dir.mkdir(parents=True, exist_ok=True)
+        for i, error in enumerate(report.errors):
+            if error.decisions is not None:
+                path = args.witness_dir / f"error{i}_{error.kind}.json"
+                error.decisions.save(path)
+                print(f"  witness saved: {path}")
+    return 1 if report.errors else 0
+
+
+def cmd_escalate(args) -> int:
+    from repro.dampi.campaign import escalating_verify
+
+    program = resolve_program(args.program)
+    result = escalating_verify(
+        program,
+        args.nprocs,
+        base_config=DampiConfig(clock_impl=args.clock, policy=args.policy),
+        run_budget=args.run_budget,
+        stop_on_error=not args.keep_going,
+        kwargs=json.loads(args.kwargs),
+    )
+    print(result.summary())
+    return 1 if result.errors else 0
+
+
+def cmd_replay(args) -> int:
+    program = resolve_program(args.program)
+    kwargs = json.loads(args.kwargs)
+    decisions = EpochDecisions.load(args.decisions)
+    config = DampiConfig(clock_impl=args.clock, policy=args.policy)
+    verifier = DampiVerifier(program, args.nprocs, config, kwargs=kwargs)
+    result, trace = verifier.run_once(decisions)
+    print(f"replayed {len(decisions)} forced decision(s); {result!r}")
+    for rank, exc in sorted(result.primary_errors.items()):
+        print(f"  rank {rank}: {type(exc).__name__}: {exc}")
+    if trace.diverged:
+        print(
+            f"  warning: replay diverged "
+            f"(unconsumed: {trace.unconsumed_decisions}, "
+            f"mismatched: {trace.forced_mismatches})"
+        )
+    return 1 if result.errors else 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "verify":
+        return cmd_verify(args)
+    if args.command == "escalate":
+        return cmd_escalate(args)
+    if args.command == "replay":
+        return cmd_replay(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

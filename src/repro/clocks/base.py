@@ -1,0 +1,80 @@
+"""Shared protocol for logical clocks and their immutable stamps."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Stamp(Protocol):
+    """An immutable timestamp produced by :meth:`LogicalClock.snapshot`.
+
+    Stamps of the same flavour are partially ordered by ``causally_before``.
+    """
+
+    def causally_before(self, other: "Stamp") -> bool:
+        """True iff the event carrying ``self`` happened-before ``other``'s."""
+        ...
+
+
+@runtime_checkable
+class LogicalClock(Protocol):
+    """Mutable per-process logical clock."""
+
+    rank: int
+
+    def tick(self) -> None:
+        """Record a visible local event (advance local time)."""
+        ...
+
+    def merge(self, stamp: Stamp) -> None:
+        """Incorporate a timestamp received from another process."""
+        ...
+
+    def snapshot(self) -> Stamp:
+        """An immutable copy of the current time, safe to piggyback."""
+        ...
+
+
+def causally_before(a: Stamp, b: Stamp) -> bool:
+    """``a`` happened-before ``b`` in the clock's order.
+
+    For vector stamps this is precise; for Lamport stamps it is the usual
+    one-way implication (may order concurrent events).
+    """
+    return a.causally_before(b)
+
+
+def concurrent(a: Stamp, b: Stamp) -> bool:
+    """Neither stamp is causally before the other.
+
+    Note that Lamport stamps with distinct values are never reported
+    concurrent — that loss of precision is inherent (paper §II-C).
+    """
+    return not a.causally_before(b) and not b.causally_before(a)
+
+
+def make_clock(impl: str, rank: int, nprocs: int) -> LogicalClock:
+    """Factory used by the DAMPI clock module.
+
+    Parameters
+    ----------
+    impl:
+        ``"lamport"`` (the paper's scalable default), ``"vector"``
+        (precise, O(nprocs) piggyback payload), or ``"lamport_dual"`` /
+        ``"vector_dual"`` — the §V dual-clock pair that keeps uncommitted
+        epoch ticks out of transmitted stamps (paper's proposed fix,
+        implemented in :mod:`repro.clocks.dual`).
+    """
+    from repro.clocks.lamport import LamportClock
+    from repro.clocks.vector import VectorClock
+
+    if impl == "lamport":
+        return LamportClock(rank)
+    if impl == "vector":
+        return VectorClock(rank, nprocs)
+    if impl in ("lamport_dual", "vector_dual"):
+        from repro.clocks.dual import DualClock
+
+        return DualClock(impl.removesuffix("_dual"), rank, nprocs)
+    raise ValueError(f"unknown clock implementation {impl!r}")

@@ -1,0 +1,88 @@
+"""Dual clocks — the paper's proposed fix for the §V omission pattern.
+
+DAMPI's known blind spot (paper Fig. 10): a wildcard receive ticks the
+clock at *post* time, and any send/collective issued before the matching
+``Wait``/``Test`` transmits the ticked value — making genuinely concurrent
+remote sends look causally-after the epoch.  §V sketches the remedy we
+implement here:
+
+    "basically using a pair of Lamport clocks — one for handling wildcard
+    receives, and the other for transmittal to other processes.  These
+    Lamport clocks will be synchronized when a Wait/Test is encountered."
+
+:class:`DualClock` keeps a *main* clock (ticks at wildcard post; the
+source of epoch identities and epoch stamps) and a *transmit* clock (what
+piggybacks and collective exchanges carry).  An epoch's tick reaches the
+transmit clock only when that epoch's completion is observed
+(:meth:`commit_epoch`), so clock values can never leak through a barrier
+or send issued between the ``Irecv`` and its ``Wait`` — the Fig. 10 send
+stays *late* and the alternate match is explored.
+
+Soundness: a send causally after an epoch's *completion* necessarily
+carries the committed tick and is still excluded; a send merely after the
+epoch's *posting* could legitimately have matched the still-pending
+receive, so including it is a strict completeness improvement.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.base import make_clock as _make_base_clock
+from repro.clocks.lamport import LamportClock, LamportStamp
+from repro.clocks.vector import VectorClock, VectorStamp
+
+
+class DualClock:
+    """A (main, transmit) clock pair over either scalar or vector clocks.
+
+    Protocol notes for the DAMPI clock module:
+
+    * ``snapshot()`` returns the **transmit** stamp (safe to piggyback);
+    * ``epoch_snapshot()`` returns the **main** stamp (for epoch records);
+    * ``merge`` folds a received stamp into both clocks (received
+      knowledge is committed knowledge);
+    * ``tick`` advances only the main clock (a posted, uncommitted epoch);
+    * ``commit_epoch(lc)`` releases one epoch's tick into the transmit
+      clock once its Wait/Test completed.
+    """
+
+    __slots__ = ("rank", "main", "xmit", "_impl")
+
+    def __init__(self, impl: str, rank: int, nprocs: int):
+        if impl not in ("lamport", "vector"):
+            raise ValueError(f"dual clocks wrap lamport|vector, not {impl!r}")
+        self._impl = impl
+        self.rank = rank
+        self.main = _make_base_clock(impl, rank, nprocs)
+        self.xmit = _make_base_clock(impl, rank, nprocs)
+
+    @property
+    def time(self) -> int:
+        """Scalar epoch-id view — the main clock's local component."""
+        return self.main.time
+
+    def tick(self) -> None:
+        self.main.tick()
+
+    def merge(self, stamp) -> None:
+        self.main.merge(stamp)
+        self.xmit.merge(stamp)
+
+    def snapshot(self):
+        return self.xmit.snapshot()
+
+    def epoch_snapshot(self):
+        return self.main.snapshot()
+
+    def commit_epoch(self, lc: int) -> None:
+        """Release the tick of the epoch that was posted at main-time
+        ``lc`` (its post-tick own component is ``lc + 1``)."""
+        if isinstance(self.xmit, LamportClock):
+            self.xmit.merge(LamportStamp(lc + 1, self.rank))
+        else:
+            assert isinstance(self.xmit, VectorClock)
+            components = [0] * len(self.xmit.snapshot())
+            components[self.rank] = lc + 1
+            self.xmit.merge(VectorStamp(components))
+
+    def __repr__(self) -> str:
+        return f"DualClock({self._impl}, rank={self.rank}, main={self.main.time}, xmit={self.xmit.time})"

@@ -1,0 +1,185 @@
+"""Verification campaigns: escalating bounds and configuration sweeps.
+
+The paper's §III-B2 describes how bounded mixing is meant to be *used*:
+"users can slowly increase k should they suspect that the reaching effect
+of a matching receive is further than they initially assumed."  This
+module turns that workflow into an API:
+
+:func:`escalating_verify`
+    run k=0, then k=1, 2, ... (finally unbounded) until an error is
+    found, the space is fully covered, or the run budget is spent —
+    cheap coverage first, exhaustive coverage only if affordable.
+
+:func:`run_campaign`
+    sweep a program across process counts and configurations, with one
+    deduplicated error list and a comparison table — the "verify my code
+    before the big run" driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier, FoundError, VerificationReport
+
+
+@dataclass
+class EscalationStep:
+    bound_k: Optional[int]
+    report: VerificationReport
+
+    @property
+    def label(self) -> str:
+        return "unbounded" if self.bound_k is None else f"k={self.bound_k}"
+
+
+@dataclass
+class EscalationResult:
+    """Outcome of an escalating verification."""
+
+    steps: list[EscalationStep] = field(default_factory=list)
+    stopped_reason: str = ""
+
+    @property
+    def errors(self) -> list[FoundError]:
+        seen, out = set(), []
+        for step in self.steps:
+            for e in step.report.errors:
+                key = (e.kind, e.detail)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(e)
+        return out
+
+    @property
+    def total_interleavings(self) -> int:
+        return sum(s.report.interleavings for s in self.steps)
+
+    @property
+    def final_report(self) -> Optional[VerificationReport]:
+        return self.steps[-1].report if self.steps else None
+
+    def summary(self) -> str:
+        lines = [
+            f"escalating verification: {len(self.steps)} stage(s), "
+            f"{self.total_interleavings} interleavings total "
+            f"(stopped: {self.stopped_reason})"
+        ]
+        for s in self.steps:
+            state = "errors!" if s.report.errors else (
+                "truncated" if s.report.truncated else "covered"
+            )
+            lines.append(
+                f"  {s.label:>9}: {s.report.interleavings:6d} interleavings, {state}"
+            )
+        if self.errors:
+            lines.append(f"  distinct errors: {len(self.errors)}")
+            lines.extend(f"    {e}" for e in self.errors)
+        return "\n".join(lines)
+
+
+def escalating_verify(
+    program: Callable,
+    nprocs: int,
+    base_config: Optional[DampiConfig] = None,
+    ks: Sequence[Optional[int]] = (0, 1, 2, None),
+    run_budget: int = 2000,
+    stop_on_error: bool = True,
+    kwargs: Optional[dict] = None,
+) -> EscalationResult:
+    """Widen bounded mixing stage by stage (paper §III-B2's workflow).
+
+    Each stage gets whatever remains of ``run_budget``; escalation stops
+    when an error is found (if ``stop_on_error``), when a stage covers its
+    space without truncation at unbounded k (full coverage achieved), or
+    when the budget is gone.
+    """
+    base = base_config or DampiConfig()
+    result = EscalationResult()
+    remaining = run_budget
+    for k in ks:
+        if remaining <= 0:
+            result.stopped_reason = "run budget exhausted"
+            return result
+        cfg = replace(base, bound_k=k, max_interleavings=remaining)
+        report = DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
+        result.steps.append(EscalationStep(bound_k=k, report=report))
+        remaining -= report.interleavings
+        if stop_on_error and report.errors:
+            result.stopped_reason = f"error found at {result.steps[-1].label}"
+            return result
+        if k is None and not report.truncated:
+            result.stopped_reason = "full space covered"
+            return result
+    result.stopped_reason = "all stages ran"
+    return result
+
+
+@dataclass
+class CampaignCell:
+    nprocs: int
+    config_name: str
+    report: VerificationReport
+
+
+@dataclass
+class CampaignResult:
+    cells: list[CampaignCell] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[tuple[str, FoundError]]:
+        """(cell label, error) pairs, deduplicated by kind+detail."""
+        seen, out = set(), []
+        for cell in self.cells:
+            for e in cell.report.errors:
+                key = (e.kind, e.detail)
+                if key not in seen:
+                    seen.add(key)
+                    out.append((f"np={cell.nprocs}/{cell.config_name}", e))
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.report.ok for cell in self.cells)
+
+    def summary(self) -> str:
+        lines = [
+            f"{'nprocs':>6} | {'config':<12} | {'interleavings':>13} | "
+            f"{'R*':>5} | errors"
+        ]
+        for cell in self.cells:
+            r = cell.report
+            lines.append(
+                f"{cell.nprocs:>6} | {cell.config_name:<12} | "
+                f"{r.interleavings:>13}{'+' if r.truncated else ' '} | "
+                f"{r.wildcards_analyzed:>5} | {len(r.errors)}"
+            )
+        for label, e in self.errors:
+            lines.append(f"  [{label}] {e}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    program: Callable,
+    nprocs_list: Sequence[int],
+    configs: Optional[dict[str, DampiConfig]] = None,
+    kwargs: Optional[dict] = None,
+) -> CampaignResult:
+    """Verify across a (process count × configuration) grid.
+
+    Default configurations: a quick ``k=0`` pass and a capped unbounded
+    pass — the cheap-then-thorough pairing most sessions want.
+    """
+    if configs is None:
+        configs = {
+            "quick-k0": DampiConfig(bound_k=0, max_interleavings=500),
+            "full-capped": DampiConfig(max_interleavings=2000),
+        }
+    result = CampaignResult()
+    for nprocs in nprocs_list:
+        for name, cfg in configs.items():
+            report = DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
+            result.cells.append(CampaignCell(nprocs, name, report))
+    return result

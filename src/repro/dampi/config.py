@@ -1,0 +1,83 @@
+"""Verifier configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mpi.costmodel import CostModel
+
+
+@dataclass
+class DampiConfig:
+    """Everything tunable about a DAMPI verification session.
+
+    Attributes
+    ----------
+    clock_impl:
+        ``"lamport"`` (the paper's scalable default); ``"vector"``
+        (precise; restores completeness on the Fig. 4 cross-coupled
+        pattern at O(nprocs) piggyback cost); or ``"lamport_dual"`` /
+        ``"vector_dual"`` — the §V dual-clock pair that additionally
+        closes the Fig. 10 omission (uncommitted epoch ticks never
+        transmit; the paper's proposed future-work mechanism).
+    piggyback:
+        ``"separate"`` — the paper's mechanism: one extra message per
+        message on a shadow communicator, wildcard piggybacks received
+        only after the wildcard completes; or ``"inline"`` — pack the
+        clock into the payload (the datatype-packing alternative of the
+        paper's piggyback study [15]).
+    bound_k:
+        Bounded-mixing window (paper §III-B2).  ``None`` = unbounded
+        (full coverage); ``0`` = flip each epoch once with a self-run
+        suffix; larger values let flipped epochs "mix" ``k`` decisions
+        deep.
+    max_interleavings / max_seconds:
+        Hard budget guards; the report flags truncation.
+    policy / mode / cost_model:
+        Substrate knobs (wildcard match policy for SELF_RUN portions,
+        scheduling mode, virtual-time constants).
+    enable_leak_check / enable_monitor / trace_ops:
+        Toggle the auxiliary checker modules.
+    keep_traces:
+        Retain every run's full trace on the report (memory-hungry;
+        useful in tests).
+    artifacts_dir:
+        When set, every run's epochs, potential matches, and forced
+        decisions are written under this directory as line-oriented JSON
+        — the file tree of the paper's Fig. 1 (see
+        :mod:`repro.dampi.artifacts`).
+    """
+
+    clock_impl: str = "lamport"
+    piggyback: str = "separate"
+    bound_k: Optional[int] = None
+    #: Automatic loop-iteration abstraction (the paper's §VI future work):
+    #: freeze wildcard epochs past this many consecutive same-signature
+    #: occurrences per rank, without requiring MPI_Pcontrol annotations.
+    #: ``None`` disables the heuristic.
+    auto_loop_threshold: Optional[int] = None
+    max_interleavings: Optional[int] = None
+    max_seconds: Optional[float] = None
+    policy: str = "arrival"
+    mode: str = "run_to_block"
+    cost_model: CostModel = field(default_factory=CostModel)
+    enable_leak_check: bool = True
+    enable_monitor: bool = True
+    trace_ops: bool = False
+    keep_traces: bool = False
+    artifacts_dir: Optional[str] = None
+
+    _CLOCK_IMPLS = ("lamport", "vector", "lamport_dual", "vector_dual")
+
+    def __post_init__(self) -> None:
+        if self.clock_impl not in self._CLOCK_IMPLS:
+            raise ValueError(
+                f"clock_impl must be one of {self._CLOCK_IMPLS}, not {self.clock_impl!r}"
+            )
+        if self.piggyback not in ("separate", "inline"):
+            raise ValueError(f"piggyback must be separate|inline, not {self.piggyback!r}")
+        if self.bound_k is not None and self.bound_k < 0:
+            raise ValueError("bound_k must be None or >= 0")
+        if self.auto_loop_threshold is not None and self.auto_loop_threshold < 1:
+            raise ValueError("auto_loop_threshold must be None or >= 1")

@@ -1,0 +1,205 @@
+"""The schedule generator: a depth-first walk over Epoch Decisions.
+
+After the self run, every wildcard operation is a *decision node* with the
+observed match plus the alternatives the late-message analysis produced.
+The generator repeatedly picks the **deepest** node with an untried
+alternative, emits a decision file forcing the path prefix plus that
+alternative, and integrates the replay's trace: prefix nodes may gain
+newly discovered alternatives; epochs beyond the flip become fresh nodes
+(paper §II-B: "successively force alternate matches at the last step;
+then at the penultimate step; and so on").
+
+Search bounding (paper §III-B):
+
+* **Loop iteration abstraction** — epochs recorded inside an
+  ``MPI_Pcontrol`` region arrive with ``explore=False`` and their nodes
+  are frozen: the self-run match is kept, alternatives never forced.
+* **Bounded mixing** — with bound ``k``, fresh nodes discovered more than
+  ``k`` decisions after the flipped node are frozen: the flip's effects
+  may "mix" with at most ``k`` subsequent decisions, after which the MPI
+  runtime decides (SELF_RUN).  ``k=0`` degenerates to flipping each
+  decision once against a self-run suffix (``1 + Σ|alts|`` runs);
+  ``k=None`` is the full, unbounded depth-first search.  Because every
+  explorable node anchors its own window when flipped, windows overlap
+  exactly as in the paper's Fig. 7 discussion.
+
+Nodes are globally ordered by ``(lc, rank, per-rank index)`` — the Lamport
+clock approximates causal order across ranks, so the decision sequence is
+a linearisation of the partial order the clocks witnessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dampi.decisions import EpochDecisions
+from repro.dampi.epoch import EpochKey, EpochRecord, RunTrace
+from repro.dampi.matcher import explorable_alternative_sources
+
+
+def _order_key(e: EpochRecord) -> tuple[int, int, int]:
+    return (e.lc, e.rank, e.index)
+
+
+@dataclass
+class DecisionNode:
+    """One epoch in the current search path."""
+
+    key: EpochKey
+    order: tuple[int, int, int]
+    #: source forced (or self-run observed) along the current path
+    chosen: int
+    #: sources already explored under this node's prefix
+    tried: set[int] = field(default_factory=set)
+    #: all sources known possible here (grows as replays discover more)
+    alternatives: set[int] = field(default_factory=set)
+    #: frozen nodes keep their self-run match forever (loop abstraction /
+    #: bounded-mixing window exhausted / never-completed receive)
+    frozen: bool = False
+
+    @property
+    def untried(self) -> set[int]:
+        return self.alternatives - self.tried
+
+    def __repr__(self) -> str:
+        tag = " frozen" if self.frozen else ""
+        return (
+            f"Node({self.key}, chosen={self.chosen}, tried={sorted(self.tried)}, "
+            f"alts={sorted(self.alternatives)}{tag})"
+        )
+
+
+class ScheduleGenerator:
+    """Owns the DFS state across runs of one verification session."""
+
+    def __init__(
+        self,
+        bound_k: Optional[int] = None,
+        auto_loop_threshold: Optional[int] = None,
+    ):
+        self.bound_k = bound_k
+        #: paper §VI future work, implemented: when a rank issues more than
+        #: this many *consecutive* wildcard operations with an identical
+        #: signature (communicator, tag, kind) — the fingerprint of a fixed
+        #: communication loop — the excess epochs are frozen automatically,
+        #: as if the user had wrapped the loop in MPI_Pcontrol.
+        self.auto_loop_threshold = auto_loop_threshold
+        self.path: list[DecisionNode] = []
+        self._flip_index: Optional[int] = None
+        self._seeded = False
+        self.divergences = 0
+        self.frozen_created = 0
+        self.auto_frozen_total = 0
+
+    # -- run-0 ----------------------------------------------------------------
+
+    def seed(self, trace: RunTrace) -> None:
+        """Build the initial path from the self run.  Run-0 nodes are never
+        distance-frozen: the first window is anchored at the start."""
+        if self._seeded:
+            raise RuntimeError("generator already seeded")
+        self._seeded = True
+        self.path = self._nodes_from_epochs(trace, trace.all_epochs(), distance_from=None)
+
+    def _auto_frozen_keys(self, trace: RunTrace) -> set:
+        """Loop-pattern detection: keys of epochs beyond the threshold in a
+        consecutive run of identically-signed wildcard operations."""
+        if self.auto_loop_threshold is None:
+            return set()
+        frozen: set = set()
+        for rank, epochs in trace.epochs.items():
+            run_sig, run_len = None, 0
+            for e in epochs:
+                sig = (e.ctx, e.tag, e.kind)
+                run_len = run_len + 1 if sig == run_sig else 1
+                run_sig = sig
+                if run_len > self.auto_loop_threshold:
+                    frozen.add(e.key)
+        return frozen
+
+    def _nodes_from_epochs(
+        self, trace: RunTrace, epochs: list[EpochRecord], distance_from: Optional[int]
+    ) -> list[DecisionNode]:
+        alts = explorable_alternative_sources(trace)
+        auto_frozen = self._auto_frozen_keys(trace)
+        self.auto_frozen_total += len(auto_frozen)
+        epochs = sorted(epochs, key=_order_key)
+        nodes = []
+        for pos, e in enumerate(epochs, start=1):
+            frozen = (not e.explore) or e.matched_source is None or e.key in auto_frozen
+            if (
+                not frozen
+                and distance_from is not None
+                and self.bound_k is not None
+                and pos > self.bound_k
+            ):
+                frozen = True
+            if frozen:
+                self.frozen_created += 1
+            chosen = e.matched_source if e.matched_source is not None else -1
+            nodes.append(
+                DecisionNode(
+                    key=e.key,
+                    order=_order_key(e),
+                    chosen=chosen,
+                    tried={chosen},
+                    alternatives=set(alts.get(e.key, set())) | {chosen},
+                    frozen=frozen,
+                )
+            )
+        return nodes
+
+    # -- the walk -----------------------------------------------------------------
+
+    def next_decisions(self) -> Optional[EpochDecisions]:
+        """Emit the next guided schedule, or None when the space (under the
+        configured bounds) is exhausted."""
+        for i in range(len(self.path) - 1, -1, -1):
+            node = self.path[i]
+            if node.frozen or not node.untried:
+                continue
+            alt = min(node.untried)  # deterministic exploration order
+            node.tried.add(alt)
+            node.chosen = alt
+            self._flip_index = i
+            # Unmatched (never-completed) epochs have no source to force;
+            # they are frozen and simply omitted from the schedule.
+            forced = {
+                n.key: n.chosen for n in self.path[: i + 1] if n.chosen >= 0
+            }
+            return EpochDecisions(forced=forced, flip=node.key)
+        return None
+
+    def integrate(self, trace: RunTrace) -> None:
+        """Fold a replay's trace into the search state."""
+        if self._flip_index is None:
+            raise RuntimeError("integrate() without a preceding next_decisions()")
+        i = self._flip_index
+        self._flip_index = None
+        if trace.diverged:
+            self.divergences += 1
+        prefix = self.path[: i + 1]
+        prefix_keys = {n.key for n in prefix}
+        # prefix nodes may have new alternatives discovered under this path
+        alts = explorable_alternative_sources(trace)
+        for node in prefix:
+            if not node.frozen:
+                node.alternatives |= alts.get(node.key, set())
+        fresh_epochs = [e for e in trace.all_epochs() if e.key not in prefix_keys]
+        fresh = self._nodes_from_epochs(trace, fresh_epochs, distance_from=i)
+        self.path = prefix + fresh
+
+    # -- accounting ------------------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        return all(n.frozen or not n.untried for n in self.path)
+
+    def stats(self) -> dict:
+        return {
+            "path_length": len(self.path),
+            "frozen_nodes": sum(1 for n in self.path if n.frozen),
+            "open_alternatives": sum(len(n.untried) for n in self.path if not n.frozen),
+            "divergences": self.divergences,
+        }

@@ -1,0 +1,72 @@
+"""Potential-match finalisation under MPI's non-overtaking rule.
+
+The clock module records a raw :class:`PotentialMatch` for every late
+message against every compatible epoch.  This module reduces those to the
+*eligible alternative sources* per epoch:
+
+* only the **earliest** late message per source counts (paper §II-C: the
+  non-overtaking rule means the earliest unconsumed compatible message
+  from a source is the only one the receive could legally have matched);
+* the message that actually matched the epoch is excluded (it is the
+  already-explored outcome, not an alternative);
+* the matched *source* is excluded entirely — re-matching the same source
+  can only yield the same earliest message, i.e. the same outcome;
+* epochs flagged no-explore (loop iteration abstraction) or that never
+  completed (leaked receives) yield no alternatives.
+"""
+
+from __future__ import annotations
+
+from repro.dampi.epoch import EpochKey, EpochRecord, PotentialMatch, RunTrace
+
+
+def alternatives_for_epoch(
+    epoch: EpochRecord, matches: list[PotentialMatch]
+) -> dict[int, PotentialMatch]:
+    """Eligible alternative sources for one epoch.
+
+    Returns ``source -> earliest late PotentialMatch`` after applying the
+    exclusion rules above.  ``matches`` must already be filtered to this
+    epoch's key.
+    """
+    best: dict[int, PotentialMatch] = {}
+    for m in matches:
+        cur = best.get(m.source)
+        if cur is None or m.seq < cur.seq:
+            best[m.source] = m
+    if epoch.matched_source is not None:
+        best.pop(epoch.matched_source, None)
+    if epoch.matched_env_uid is not None:
+        best = {
+            src: m for src, m in best.items() if m.env_uid != epoch.matched_env_uid
+        }
+    return best
+
+
+def compute_alternatives(trace: RunTrace) -> dict[EpochKey, dict[int, PotentialMatch]]:
+    """All epochs' eligible alternatives for one run.
+
+    Includes non-explorable epochs (callers that build the search tree
+    apply ``epoch.explore`` / completion filters; reporting wants the full
+    picture).
+    """
+    by_epoch: dict[EpochKey, list[PotentialMatch]] = {}
+    for m in trace.potential_matches:
+        by_epoch.setdefault(m.epoch, []).append(m)
+    out: dict[EpochKey, dict[int, PotentialMatch]] = {}
+    for epoch in trace.all_epochs():
+        out[epoch.key] = alternatives_for_epoch(epoch, by_epoch.get(epoch.key, []))
+    return out
+
+
+def explorable_alternative_sources(trace: RunTrace) -> dict[EpochKey, set[int]]:
+    """Alternative sources restricted to epochs the explorer may flip:
+    completed, explore-enabled wildcard operations."""
+    alts = compute_alternatives(trace)
+    out: dict[EpochKey, set[int]] = {}
+    for epoch in trace.all_epochs():
+        if not epoch.explore or epoch.matched_source is None:
+            out[epoch.key] = set()
+        else:
+            out[epoch.key] = set(alts.get(epoch.key, {}))
+    return out

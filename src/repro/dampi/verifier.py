@@ -1,0 +1,409 @@
+"""The DAMPI front end: self run, schedule generation, guided replays.
+
+:class:`DampiVerifier` reproduces the full loop of paper Fig. 1: run the
+program once in SELF_RUN to collect potential matches, then let the
+schedule generator drive guided replays until the (possibly bounded)
+space of non-deterministic matches is covered.  Every defect found —
+deadlock, crash, leak, omission alert — ships with the Epoch Decisions
+witness that reproduces it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.dampi.clock_module import DampiClockModule
+from repro.dampi.config import DampiConfig
+from repro.dampi.decisions import EpochDecisions
+from repro.dampi.epoch import EpochKey, RunTrace
+from repro.dampi.explorer import ScheduleGenerator
+from repro.dampi.leaks import LeakCheckModule, LeakReport
+from repro.dampi.monitor import MonitorReport, OmissionMonitorModule
+from repro.dampi.piggyback import PiggybackModule
+from repro.errors import DeadlockError
+from repro.mpi.runtime import Runtime, RunResult
+from repro.mpi.tracing import TraceModule
+
+
+@dataclass
+class FoundError:
+    """One defect with its reproduction witness."""
+
+    kind: str  # "deadlock" | "crash" | "communicator_leak" | "request_leak"
+    run_index: int
+    detail: str
+    decisions: Optional[EpochDecisions] = None
+
+    def __str__(self) -> str:
+        where = "self run" if self.run_index == 0 else f"replay {self.run_index}"
+        return f"[{self.kind}] in {where}: {self.detail}"
+
+
+@dataclass
+class RunRecord:
+    """Per-interleaving summary kept on the report."""
+
+    index: int
+    makespan: float
+    wildcard_count: int
+    error_kinds: tuple[str, ...]
+    diverged: bool
+    flip: Optional[EpochKey]
+    #: completed wildcard outcome of this run — the semantic fingerprint of
+    #: the interleaving (used by coverage/property tests)
+    outcome: frozenset
+
+
+@dataclass
+class VerificationReport:
+    """Everything a verification session learned."""
+
+    nprocs: int
+    config: DampiConfig
+    interleavings: int = 0
+    errors: list[FoundError] = field(default_factory=list)
+    leak_report: Optional[LeakReport] = None
+    monitor_report: Optional[MonitorReport] = None
+    wildcards_analyzed: int = 0
+    self_run_vtime: float = 0.0
+    total_vtime: float = 0.0
+    wall_seconds: float = 0.0
+    truncated: bool = False
+    divergences: int = 0
+    runs: list[RunRecord] = field(default_factory=list)
+    traces: list[RunTrace] = field(default_factory=list)
+
+    @property
+    def deadlocks(self) -> list[FoundError]:
+        return [e for e in self.errors if e.kind == "deadlock"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def outcomes(self) -> set[frozenset]:
+        """Distinct wildcard-match outcomes covered (coverage measure)."""
+        return {r.outcome for r in self.runs}
+
+    def summary(self) -> str:
+        lines = [
+            f"DAMPI verification of {self.nprocs} processes "
+            f"({self.config.clock_impl} clocks, "
+            f"k={'unbounded' if self.config.bound_k is None else self.config.bound_k})",
+            f"  interleavings explored : {self.interleavings}"
+            + (" (truncated)" if self.truncated else ""),
+            f"  wildcard ops analyzed  : {self.wildcards_analyzed}",
+            f"  distinct outcomes      : {len(self.outcomes)}",
+            f"  total virtual time     : {self.total_vtime:.6f} s"
+            f" (self run {self.self_run_vtime:.6f} s)",
+            f"  wall-clock             : {self.wall_seconds:.2f} s",
+        ]
+        if self.monitor_report and self.monitor_report.triggered:
+            lines.append(
+                f"  omission alerts (§V)   : {len(self.monitor_report)}"
+            )
+        if self.errors:
+            lines.append(f"  ERRORS ({len(self.errors)}):")
+            lines.extend(f"    {e}" for e in self.errors)
+        else:
+            lines.append("  no errors found")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report for CI pipelines: counts, errors with
+        their witness schedules, monitor alerts, and per-run records."""
+        import json
+
+        payload = {
+            "version": 1,
+            "nprocs": self.nprocs,
+            "clock_impl": self.config.clock_impl,
+            "bound_k": self.config.bound_k,
+            "interleavings": self.interleavings,
+            "truncated": self.truncated,
+            "wildcards_analyzed": self.wildcards_analyzed,
+            "distinct_outcomes": len(self.outcomes),
+            "self_run_vtime": self.self_run_vtime,
+            "total_vtime": self.total_vtime,
+            "divergences": self.divergences,
+            "monitor_alerts": (
+                len(self.monitor_report) if self.monitor_report else 0
+            ),
+            "errors": [
+                {
+                    "kind": e.kind,
+                    "run_index": e.run_index,
+                    "detail": e.detail,
+                    "witness": (
+                        None
+                        if e.decisions is None
+                        else [[r, lc, src] for (r, lc), src in sorted(e.decisions.forced.items())]
+                    ),
+                }
+                for e in self.errors
+            ],
+            "runs": [
+                {
+                    "index": r.index,
+                    "flip": list(r.flip) if r.flip else None,
+                    "errors": list(r.error_kinds),
+                    "diverged": r.diverged,
+                    "makespan": r.makespan,
+                }
+                for r in self.runs
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    def run_table(self, limit: Optional[int] = 50) -> str:
+        """A per-run text table: which epoch each replay flipped, what the
+        wildcards matched, and what went wrong.  ``limit`` caps the rows
+        (None = all)."""
+        lines = [
+            f"{'run':>5} | {'flipped epoch':>14} | {'wildcard matches':<40} | outcome"
+        ]
+        rows = self.runs if limit is None else self.runs[:limit]
+        for r in rows:
+            matches = ", ".join(
+                f"r{rank}@{lc}<-{src}"
+                for (rank, lc), src in sorted(r.outcome)
+            )
+            if len(matches) > 40:
+                matches = matches[:37] + "..."
+            flip = "self run" if r.flip is None else f"({r.flip[0]},{r.flip[1]})"
+            state = ",".join(r.error_kinds) if r.error_kinds else "ok"
+            if r.diverged:
+                state += " [diverged]"
+            lines.append(f"{r.index:>5} | {flip:>14} | {matches:<40} | {state}")
+        if limit is not None and len(self.runs) > limit:
+            lines.append(f"  ... {len(self.runs) - limit} more runs")
+        return "\n".join(lines)
+
+
+class DampiVerifier:
+    """Verify ``program`` over the space of wildcard non-determinism.
+
+    Parameters
+    ----------
+    program:
+        ``program(proc, *args, **kwargs)`` — any program runnable under
+        :class:`repro.mpi.runtime.Runtime`.
+    nprocs:
+        Number of ranks to verify at.
+    config:
+        A :class:`DampiConfig`; defaults are the paper's (Lamport clocks,
+        separate-message piggyback, unbounded search).
+    """
+
+    def __init__(
+        self,
+        program: Callable,
+        nprocs: int,
+        config: Optional[DampiConfig] = None,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ):
+        self.program = program
+        self.nprocs = nprocs
+        self.config = config or DampiConfig()
+        self.args = args
+        self.kwargs = kwargs or {}
+
+    # -- module stack -----------------------------------------------------------
+
+    def _extra_outer_modules(self) -> list:
+        """Hook for subclasses (the ISP baseline adds its scheduler tax)."""
+        return []
+
+    def _build_modules(self, decisions: Optional[EpochDecisions]) -> list:
+        cfg = self.config
+        piggyback = PiggybackModule(cfg.piggyback)
+        clock = DampiClockModule(piggyback, cfg.clock_impl, decisions)
+        modules: list = list(self._extra_outer_modules())
+        if cfg.trace_ops:
+            modules.append(TraceModule())
+        if cfg.enable_monitor:
+            modules.append(OmissionMonitorModule())
+        if cfg.enable_leak_check:
+            modules.append(LeakCheckModule())
+        modules.append(clock)
+        modules.append(piggyback)
+        return modules
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_once(
+        self, decisions: Optional[EpochDecisions] = None
+    ) -> tuple[RunResult, RunTrace]:
+        """One instrumented execution (self run if ``decisions`` is empty)."""
+        cfg = self.config
+        runtime = Runtime(
+            self.nprocs,
+            self.program,
+            modules=self._build_modules(decisions),
+            policy=cfg.policy,
+            mode=cfg.mode,
+            cost_model=cfg.cost_model,
+            args=self.args,
+            kwargs=self.kwargs,
+        )
+        result = runtime.run()
+        trace = result.artifacts["dampi"]
+        return result, trace
+
+    def verify(self) -> VerificationReport:
+        """The full coverage loop: self run + guided replays to exhaustion
+        (or to the configured bounds)."""
+        cfg = self.config
+        report = VerificationReport(nprocs=self.nprocs, config=cfg)
+        started = time.perf_counter()
+        generator = ScheduleGenerator(
+            bound_k=cfg.bound_k, auto_loop_threshold=cfg.auto_loop_threshold
+        )
+        seen_error_keys: set[tuple[str, str]] = set()
+        store = None
+        if cfg.artifacts_dir is not None:
+            from repro.dampi.artifacts import ArtifactStore
+
+            store = ArtifactStore(cfg.artifacts_dir)
+
+        result, trace = self.run_once()
+        if store is not None:
+            store.write_run(0, trace)
+        self._record_run(report, 0, None, result, trace, seen_error_keys)
+        report.wildcards_analyzed = trace.wildcard_count
+        report.self_run_vtime = result.makespan
+        report.leak_report = result.artifacts.get("leaks")
+        report.monitor_report = result.artifacts.get("monitor")
+        generator.seed(trace)
+
+        run_index = 0
+        while True:
+            if cfg.max_interleavings is not None and report.interleavings >= cfg.max_interleavings:
+                report.truncated = not generator.exhausted
+                break
+            if cfg.max_seconds is not None and time.perf_counter() - started > cfg.max_seconds:
+                report.truncated = not generator.exhausted
+                break
+            decisions = generator.next_decisions()
+            if decisions is None:
+                break
+            run_index += 1
+            result, trace = self.run_once(decisions)
+            if store is not None:
+                store.write_run(run_index, trace, decisions)
+            generator.integrate(trace)
+            self._record_run(report, run_index, decisions, result, trace, seen_error_keys)
+
+        report.divergences = generator.divergences
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _record_run(
+        self,
+        report: VerificationReport,
+        index: int,
+        decisions: Optional[EpochDecisions],
+        result: RunResult,
+        trace: RunTrace,
+        seen: set,
+    ) -> None:
+        report.interleavings += 1
+        report.total_vtime += result.makespan
+        kinds = []
+        if result.deadlocked:
+            kinds.append("deadlock")
+            key = ("deadlock", str(sorted(result.deadlock.blocked)))
+            if key not in seen:
+                seen.add(key)
+                report.errors.append(
+                    FoundError("deadlock", index, str(result.deadlock), decisions)
+                )
+        for rank, exc in result.primary_errors.items():
+            if isinstance(exc, DeadlockError):
+                continue
+            kinds.append("crash")
+            key = ("crash", f"{rank}:{type(exc).__name__}:{exc}")
+            if key not in seen:
+                seen.add(key)
+                report.errors.append(
+                    FoundError(
+                        "crash",
+                        index,
+                        f"rank {rank}: {type(exc).__name__}: {exc}",
+                        decisions,
+                    )
+                )
+        leaks: Optional[LeakReport] = result.artifacts.get("leaks")
+        if leaks is not None:
+            for leak in leaks.comm_leaks:
+                key = ("communicator_leak", str(leak))
+                if key not in seen:
+                    seen.add(key)
+                    kinds.append("communicator_leak")
+                    report.errors.append(
+                        FoundError("communicator_leak", index, str(leak), decisions)
+                    )
+            for leak in leaks.request_leaks:
+                key = ("request_leak", str(leak))
+                if key not in seen:
+                    seen.add(key)
+                    kinds.append("request_leak")
+                    report.errors.append(
+                        FoundError("request_leak", index, str(leak), decisions)
+                    )
+        outcome = frozenset(
+            (e.key, e.matched_source)
+            for e in trace.all_epochs()
+            if e.matched_source is not None
+        )
+        report.runs.append(
+            RunRecord(
+                index=index,
+                makespan=result.makespan,
+                wildcard_count=trace.wildcard_count,
+                error_kinds=tuple(kinds),
+                diverged=trace.diverged,
+                flip=decisions.flip if decisions else None,
+                outcome=outcome,
+            )
+        )
+        if self.config.keep_traces:
+            report.traces.append(trace)
+
+
+def measure_slowdown(
+    program: Callable,
+    nprocs: int,
+    config: Optional[DampiConfig] = None,
+    args: tuple = (),
+    kwargs: Optional[dict] = None,
+) -> dict:
+    """Table-II style overhead measurement: one native run vs one
+    instrumented self run; returns makespans, slowdown, R*, leak flags."""
+    cfg = config or DampiConfig()
+    native = Runtime(
+        nprocs,
+        program,
+        modules=(),
+        policy=cfg.policy,
+        mode=cfg.mode,
+        cost_model=cfg.cost_model,
+        args=args,
+        kwargs=kwargs or {},
+    ).run()
+    native.raise_any()
+    verifier = DampiVerifier(program, nprocs, cfg, args=args, kwargs=kwargs)
+    result, trace = verifier.run_once()
+    leaks: Optional[LeakReport] = result.artifacts.get("leaks")
+    return {
+        "native_vtime": native.makespan,
+        "dampi_vtime": result.makespan,
+        "slowdown": result.makespan / native.makespan if native.makespan else float("inf"),
+        "wildcards": trace.wildcard_count,
+        "comm_leak": bool(leaks and leaks.has_comm_leak),
+        "request_leak": bool(leaks and leaks.has_request_leak),
+    }

@@ -1,0 +1,20 @@
+"""ISP — the centralized dynamic-verifier baseline (paper §II-A).
+
+ISP intercepts every MPI call and makes a *synchronous round-trip* to a
+central scheduler process before allowing the call to proceed.  The
+scheduler sees global state, so its match discovery is complete (no
+clock imprecision), but it serialises the whole job: its queue length
+grows with the total — not per-rank — operation count, producing the
+super-linear slowdown of the paper's Fig. 5.
+
+We model the round-trips and the serialised scheduler faithfully in
+virtual time (:class:`repro.mpi.costmodel.SerializedResource`), and stand
+in for the scheduler's omniscient match discovery with vector-clock
+DAMPI, which is provably complete on these workloads (DESIGN.md §2
+documents this substitution).
+"""
+
+from repro.isp.scheduler import IspCostParams, IspInterpositionModule
+from repro.isp.verifier import IspVerifier
+
+__all__ = ["IspCostParams", "IspInterpositionModule", "IspVerifier"]

@@ -1,0 +1,811 @@
+"""The message engine: global matching state, scheduling, deadlock proof.
+
+One :class:`MessageEngine` exists per job.  Rank threads call its
+``pmpi_*`` methods — the bottom of the PnMPI stack, i.e. "the MPI library".
+All engine state is guarded by a single lock shared by per-rank condition
+variables.
+
+Scheduling modes
+----------------
+``run_to_block`` (default)
+    Exactly one rank executes at a time, holding a token from thread start;
+    the token passes round-robin when the holder blocks or finishes.  This
+    makes entire executions deterministic, which DAMPI's guided replays
+    rely on, while costing one context switch per *blocking event* only.
+``rr``
+    As above, but the token also passes after every MPI call — a
+    finer-grained deterministic interleaving (more switches, more overlap
+    of unexpected-queue states).
+``free``
+    True concurrent threads; only engine data structures are locked.
+    Matching outcomes then depend on OS scheduling — the environment in
+    which Heisenbugs actually appear.
+
+Deadlock detection is a *proof*, not a timeout: sends are eager, matching
+is performed immediately on post, so if every non-finished rank is blocked
+then no future engine event can occur and the job is deadlocked.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Optional
+
+from repro.errors import (
+    AbortError,
+    DeadlockError,
+    InvalidCommunicatorError,
+    InvalidRequestError,
+    MPIError,
+    TruncationError,
+)
+from repro.mpi.collectives import CollectiveInstance
+from repro.mpi.communicator import CommContext
+from repro.mpi.constants import ANY_SOURCE, UNDEFINED, ReduceOp, validate_tag
+from repro.mpi.costmodel import CostModel, SerializedResource, VirtualClocks
+from repro.mpi.matching import MailBox, make_policy
+from repro.mpi.message import Envelope
+from repro.mpi.request import Request, RequestKind, RequestState, Status
+
+#: Condition waits re-check this often; protects the test-suite from hanging
+#: forever on an engine bug (a stall past this raises EngineStallError).
+_WAIT_QUANTUM = 300.0
+
+WORLD_CTX = 0
+
+
+class EngineStallError(RuntimeError):
+    """A rank waited far beyond any plausible scheduling delay."""
+
+
+class RankRunState(enum.Enum):
+    RUNNING = "running"
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class _RankState:
+    __slots__ = ("rank", "state", "cond", "ready_fn", "describe")
+
+    def __init__(self, rank: int, lock: threading.Lock):
+        self.rank = rank
+        self.state = RankRunState.RUNNABLE
+        self.cond = threading.Condition(lock)
+        self.ready_fn = None
+        self.describe = ""
+
+
+class EngineStats:
+    """Lightweight global counters (diagnostics; per-class op statistics for
+    Table I live in :mod:`repro.mpi.tracing` at the interposition level)."""
+
+    __slots__ = ("envelopes", "bytes", "collectives", "matches", "wildcard_matches")
+
+    def __init__(self) -> None:
+        self.envelopes = 0
+        self.bytes = 0
+        self.collectives = 0
+        self.matches = 0
+        self.wildcard_matches = 0
+
+
+class MessageEngine:
+    """Simulated MPI library shared by all ranks of one job."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        cost_model: Optional[CostModel] = None,
+        policy="arrival",
+        mode: str = "run_to_block",
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if mode not in ("run_to_block", "rr", "free"):
+            raise ValueError(f"unknown scheduling mode {mode!r}")
+        self.nprocs = nprocs
+        self.mode = mode
+        self.cost = cost_model or CostModel()
+        self.policy = make_policy(policy)
+        self.clocks = VirtualClocks(nprocs)
+        self.stats = EngineStats()
+        #: Serialised central resource; only the ISP module visits it.
+        self.central = SerializedResource()
+
+        self._lock = threading.Lock()
+        self._ranks = [_RankState(r, self._lock) for r in range(nprocs)]
+        self._mail = [MailBox(r) for r in range(nprocs)]
+        self._collectives: dict[tuple[int, int], CollectiveInstance] = {}
+        self._coll_done: dict[tuple[int, int], int] = {}
+        self.contexts: dict[int, CommContext] = {}
+        self._next_ctx = WORLD_CTX
+        self._fatal: Optional[BaseException] = None
+        self._current: Optional[int] = 0 if mode != "free" else None
+        self.world = self._new_context(tuple(range(nprocs)), label="world")
+
+    # ------------------------------------------------------------------ #
+    # context management                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _new_context(
+        self,
+        group: tuple[int, ...],
+        parent: Optional[int] = None,
+        tool: bool = False,
+        label: str = "",
+    ) -> CommContext:
+        ctx_id = self._next_ctx
+        self._next_ctx += 1
+        ctx = CommContext(ctx_id, group, parent=parent, tool=tool, label=label)
+        self.contexts[ctx_id] = ctx
+        return ctx
+
+    def new_tool_context(self, base: CommContext, label: str) -> CommContext:
+        """Create a shadow context congruent to ``base`` (for piggybacking).
+
+        Called by tool modules outside any collective; deterministic given
+        call order, which deterministic scheduling guarantees.
+        """
+        with self._lock:
+            return self._new_context(base.group, parent=base.ctx, tool=True, label=label)
+
+    def _live_context(self, ctx_id: int) -> CommContext:
+        ctx = self.contexts.get(ctx_id)
+        if ctx is None:
+            raise InvalidCommunicatorError(f"unknown context {ctx_id}")
+        if ctx.is_fully_freed():
+            raise InvalidCommunicatorError(
+                f"communication on fully freed communicator {ctx.label}"
+            )
+        return ctx
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives (lock held unless stated)                     #
+    # ------------------------------------------------------------------ #
+
+    def thread_started(self, rank: int) -> None:
+        """First thing each rank thread does: wait for its first token."""
+        with self._lock:
+            self._wait_for_token(rank)
+            self._ranks[rank].state = RankRunState.RUNNING
+
+    def thread_finished(self, rank: int) -> None:
+        """Last thing each rank thread does (even on exception)."""
+        with self._lock:
+            self._ranks[rank].state = RankRunState.DONE
+            self._schedule_next(rank)
+
+    def kill(self, exc: BaseException) -> None:
+        """Abort the whole job with ``exc`` (first fatal wins)."""
+        with self._lock:
+            self._set_fatal(exc)
+
+    def _set_fatal(self, exc: BaseException) -> None:
+        if self._fatal is None:
+            self._fatal = exc
+        for st in self._ranks:
+            st.cond.notify_all()
+
+    def _check_fatal(self, rank: int) -> None:
+        if self._fatal is not None:
+            raise self._fatal
+
+    def _wait_for_token(self, rank: int) -> None:
+        if self.mode == "free":
+            return
+        st = self._ranks[rank]
+        while self._current != rank:
+            self._check_fatal(rank)
+            if not st.cond.wait(timeout=_WAIT_QUANTUM):
+                self._check_fatal(rank)
+                raise EngineStallError(f"rank {rank} starved waiting for token")
+        self._check_fatal(rank)
+
+    def _schedule_next(self, from_rank: Optional[int]) -> None:
+        """Pass the token to the next runnable rank (round-robin); prove
+        deadlock if nobody is runnable but somebody is blocked."""
+        if self.mode == "free":
+            self._free_mode_deadlock_check()
+            return
+        start = 0 if from_rank is None else (from_rank + 1) % self.nprocs
+        for i in range(self.nprocs):
+            cand = (start + i) % self.nprocs
+            if self._ranks[cand].state is RankRunState.RUNNABLE:
+                self._current = cand
+                self._ranks[cand].cond.notify()
+                return
+        blocked = {
+            st.rank: st.describe
+            for st in self._ranks
+            if st.state is RankRunState.BLOCKED
+        }
+        if blocked:
+            self._set_fatal(DeadlockError(blocked))
+        else:
+            self._current = None  # everyone DONE
+
+    def _free_mode_deadlock_check(self) -> None:
+        blocked = {}
+        for st in self._ranks:
+            if st.state is RankRunState.BLOCKED:
+                blocked[st.rank] = st.describe
+            elif st.state is not RankRunState.DONE:
+                return
+        if blocked:
+            self._set_fatal(DeadlockError(blocked))
+
+    def _block_until(self, rank: int, ready_fn, describe: str) -> None:
+        """Block the calling rank until ``ready_fn()`` (engine-state
+        predicate).  Releases the token while blocked."""
+        st = self._ranks[rank]
+        if ready_fn():
+            return
+        st.state = RankRunState.BLOCKED
+        st.describe = describe
+        st.ready_fn = ready_fn
+        self._schedule_next(rank)
+        while not ready_fn():
+            self._check_fatal(rank)
+            if not st.cond.wait(timeout=_WAIT_QUANTUM):
+                self._check_fatal(rank)
+                if not ready_fn():
+                    raise EngineStallError(f"rank {rank} stalled in {describe}")
+        self._check_fatal(rank)
+        if st.state is RankRunState.BLOCKED:
+            # Completed without an explicit wake (e.g. we raced the waker).
+            st.state = RankRunState.RUNNABLE
+        st.ready_fn = None
+        self._wait_for_token(rank)
+        st.state = RankRunState.RUNNING
+
+    def _unblock_if_ready(self, rank: int) -> None:
+        """Called by whichever rank just changed state that may satisfy a
+        blocked rank's predicate."""
+        st = self._ranks[rank]
+        if st.state is RankRunState.BLOCKED and st.ready_fn is not None and st.ready_fn():
+            st.state = RankRunState.RUNNABLE
+            st.cond.notify()
+
+    def _yield_token(self, rank: int) -> None:
+        """Voluntary scheduling point (``rr`` mode, test/iprobe loops)."""
+        if self.mode == "free":
+            return
+        st = self._ranks[rank]
+        st.state = RankRunState.RUNNABLE
+        self._schedule_next(rank)
+        self._wait_for_token(rank)
+        st.state = RankRunState.RUNNING
+
+    def _maybe_yield(self, rank: int) -> None:
+        if self.mode == "rr":
+            self._yield_token(rank)
+
+    # ------------------------------------------------------------------ #
+    # point-to-point                                                      #
+    # ------------------------------------------------------------------ #
+
+    def pmpi_isend(
+        self, rank: int, ctx_id: int, payload: Any, dest_world: int, tag: int, proc=None
+    ) -> Request:
+        """Eager non-blocking send: deposits immediately, completes locally."""
+        validate_tag(tag, receiving=False)
+        with self._lock:
+            self._check_fatal(rank)
+            ctx = self._live_context(ctx_id)
+            send_vtime = self.clocks.now(rank)
+            req = Request(RequestKind.SEND, rank, ctx_id, proc=proc)
+            req.post_vtime = send_vtime
+            seq = ctx.next_send_seq(rank, dest_world)
+            env = Envelope(
+                src=rank,
+                dst=dest_world,
+                ctx=ctx_id,
+                tag=tag,
+                payload=payload,
+                seq=seq,
+                send_vtime=send_vtime,
+            )
+            env.arrival_vtime = self.cost.arrival_vtime(env)
+            send_cost = self.cost.send_cost(env.nbytes)
+            if ctx.tool:
+                send_cost *= self.cost.tool_factor
+            now = self.clocks.advance(rank, send_cost)
+            req.state = RequestState.COMPLETE
+            req.complete_vtime = now
+            req.status = Status()
+            req.envelope = env
+            self.stats.envelopes += 1
+            self.stats.bytes += env.nbytes
+            self._deposit(env)
+            self._maybe_yield(rank)
+            return req
+
+    def pmpi_issend(
+        self, rank: int, ctx_id: int, payload: Any, dest_world: int, tag: int, proc=None
+    ) -> Request:
+        """Synchronous-mode non-blocking send (MPI_Issend): the request
+        completes only when a matching receive consumes the message —
+        rendezvous semantics, the stricter deadlock discipline."""
+        validate_tag(tag, receiving=False)
+        with self._lock:
+            self._check_fatal(rank)
+            ctx = self._live_context(ctx_id)
+            send_vtime = self.clocks.now(rank)
+            req = Request(RequestKind.SEND, rank, ctx_id, proc=proc)
+            req.post_vtime = send_vtime
+            seq = ctx.next_send_seq(rank, dest_world)
+            env = Envelope(
+                src=rank,
+                dst=dest_world,
+                ctx=ctx_id,
+                tag=tag,
+                payload=payload,
+                seq=seq,
+                send_vtime=send_vtime,
+            )
+            env.arrival_vtime = self.cost.arrival_vtime(env)
+            env.sync_req = req
+            send_cost = self.cost.send_cost(env.nbytes)
+            if ctx.tool:
+                send_cost *= self.cost.tool_factor
+            self.clocks.advance(rank, send_cost)
+            req.status = Status()
+            req.envelope = env
+            self.stats.envelopes += 1
+            self.stats.bytes += env.nbytes
+            self._deposit(env)  # may complete req immediately if matched
+            self._maybe_yield(rank)
+            return req
+
+    def _deposit(self, env: Envelope) -> None:
+        """Route an envelope: complete the oldest matching posted receive,
+        else queue as unexpected.  Wakes the destination if anything changed."""
+        mb = self._mail[env.dst]
+        req = mb.first_posted_match(env)
+        if req is not None:
+            mb.remove_posted(req)
+            self._complete_recv(req, env)
+        else:
+            mb.add_unexpected(env)
+        self._unblock_if_ready(env.dst)
+
+    def _complete_recv(self, req: Request, env: Envelope) -> None:
+        ctx = self.contexts[env.ctx]
+        env.matched = True
+        req.data = env.payload
+        req.envelope = env
+        req.status = Status(source=ctx.rank_of(env.src), tag=env.tag, payload=env.payload)
+        recv_cost = self.cost.recv_cost()
+        if ctx.tool:
+            recv_cost *= self.cost.tool_factor
+        req.complete_vtime = (
+            max(req.post_vtime, env.arrival_vtime, self.clocks.now(req.owner))
+            + recv_cost
+        )
+        req.state = RequestState.COMPLETE
+        self.stats.matches += 1
+        if req.is_wildcard_recv:
+            self.stats.wildcard_matches += 1
+        if env.sync_req is not None:
+            # rendezvous: the synchronous send completes at match time
+            sreq = env.sync_req
+            sreq.state = RequestState.COMPLETE
+            sreq.complete_vtime = req.complete_vtime
+            self._unblock_if_ready(sreq.owner)
+
+    def pmpi_irecv(
+        self, rank: int, ctx_id: int, src_world: int, tag: int, proc=None
+    ) -> Request:
+        """Non-blocking receive; matches immediately if possible.
+
+        ``src_world`` may be ``ANY_SOURCE`` — then the configured
+        :class:`MatchPolicy` arbitrates among eligible sources (this is the
+        native non-determinism DAMPI exists to cover).
+        """
+        validate_tag(tag, receiving=True)
+        with self._lock:
+            self._check_fatal(rank)
+            self._live_context(ctx_id)
+            req = Request(
+                RequestKind.RECV, rank, ctx_id, posted_src=src_world, posted_tag=tag, proc=proc
+            )
+            post_cost = self.cost.recv_cost()
+            if self.contexts[ctx_id].tool:
+                post_cost *= self.cost.tool_factor
+            req.post_vtime = self.clocks.advance(rank, post_cost)
+            mb = self._mail[rank]
+            candidates = mb.candidates_for(ctx_id, src_world, tag)
+            if candidates:
+                env = candidates[0] if len(candidates) == 1 else self.policy.choose(candidates)
+                mb.remove_unexpected(env)
+                self._complete_recv(req, env)
+            else:
+                mb.add_posted(req)
+            self._maybe_yield(rank)
+            return req
+
+    # ------------------------------------------------------------------ #
+    # completion                                                          #
+    # ------------------------------------------------------------------ #
+
+    def pmpi_wait(self, rank: int, req: Request) -> Status:
+        self._validate_completion_target(rank, req)
+        with self._lock:
+            self._check_fatal(rank)
+            self._block_until(
+                rank,
+                lambda: req.is_complete or self._fatal is not None,
+                f"wait on {req!r}",
+            )
+            return self._consume(rank, req)
+
+    def pmpi_test(self, rank: int, req: Request) -> tuple[bool, Optional[Status]]:
+        """Non-blocking completion check.  A scheduling point in
+        deterministic modes — otherwise a test loop would hold the token
+        forever and livelock the job."""
+        self._validate_completion_target(rank, req)
+        with self._lock:
+            self._check_fatal(rank)
+            if req.is_complete:
+                return True, self._consume(rank, req)
+            self._yield_token(rank)
+            if req.is_complete:
+                return True, self._consume(rank, req)
+            return False, None
+
+    def _validate_completion_target(self, rank: int, req: Request) -> None:
+        if not isinstance(req, Request):
+            raise InvalidRequestError(f"not a request: {req!r}")
+        if req.owner != rank:
+            raise InvalidRequestError(
+                f"rank {rank} completing rank {req.owner}'s request {req!r}"
+            )
+        if req.state is RequestState.FREED:
+            raise InvalidRequestError(f"completion of freed request {req!r}")
+        if req.state is RequestState.CONSUMED:
+            raise InvalidRequestError(f"request {req!r} completed twice")
+
+    def _consume(self, rank: int, req: Request) -> Status:
+        if (
+            req.kind is RequestKind.RECV
+            and req.max_count is not None
+            and req.status is not None
+            and req.status.get_count() > req.max_count
+        ):
+            req.state = RequestState.CONSUMED
+            raise TruncationError(
+                f"rank {rank}: message of {req.status.get_count()} elements "
+                f"received into a buffer of {req.max_count} (MPI_ERR_TRUNCATE)"
+            )
+        req.state = RequestState.CONSUMED
+        self.clocks.raise_to(rank, req.complete_vtime)
+        local = self.cost.local_op
+        ctx = self.contexts.get(req.ctx)
+        if ctx is not None and ctx.tool:
+            local *= self.cost.tool_factor
+        self.clocks.advance(rank, local)
+        return req.status
+
+    def pmpi_waitany_block(self, rank: int, reqs: list[Request]) -> int:
+        """Block until at least one active request completes; returns the
+        index of a completed request *without consuming it* (the caller then
+        waits on it through the tool stack so tools observe the completion)."""
+        with self._lock:
+            self._check_fatal(rank)
+            active = [
+                r
+                for r in reqs
+                if r.state not in (RequestState.CONSUMED, RequestState.FREED)
+            ]
+            if not active:
+                raise InvalidRequestError("waitany on no active requests")
+            for r in active:
+                if r.owner != rank:
+                    raise InvalidRequestError(
+                        f"rank {rank} waiting on rank {r.owner}'s request"
+                    )
+            self._block_until(
+                rank,
+                lambda: any(r.state is RequestState.COMPLETE for r in active)
+                or self._fatal is not None,
+                f"waitany over {len(active)} requests",
+            )
+            self._check_fatal(rank)
+            for i, r in enumerate(reqs):
+                if r.state is RequestState.COMPLETE:
+                    return i
+            raise InvalidRequestError("waitany woke with no completed request")
+
+    def pmpi_request_free(self, rank: int, req: Request) -> None:
+        """``MPI_Request_free``: mark freed without completing.  A pending
+        receive freed this way is the paper's R-Leak."""
+        with self._lock:
+            self._check_fatal(rank)
+            if req.owner != rank:
+                raise InvalidRequestError("freeing another rank's request")
+            if req.state is RequestState.FREED:
+                raise InvalidRequestError("request freed twice")
+            req.state = RequestState.FREED
+            self.clocks.advance(rank, self.cost.local_op)
+
+    # ------------------------------------------------------------------ #
+    # probes                                                              #
+    # ------------------------------------------------------------------ #
+
+    def _probe_status(self, rank: int, ctx_id: int, src_world: int, tag: int):
+        mb = self._mail[rank]
+        candidates = mb.candidates_for(ctx_id, src_world, tag)
+        if not candidates:
+            return None
+        env = candidates[0] if len(candidates) == 1 else self.policy.choose(candidates)
+        ctx = self.contexts[env.ctx]
+        return Status(source=ctx.rank_of(env.src), tag=env.tag, payload=env.payload)
+
+    def pmpi_iprobe(
+        self, rank: int, ctx_id: int, src_world: int, tag: int
+    ) -> tuple[bool, Optional[Status]]:
+        validate_tag(tag, receiving=True)
+        with self._lock:
+            self._check_fatal(rank)
+            self._live_context(ctx_id)
+            self.clocks.advance(rank, self.cost.local_op)
+            status = self._probe_status(rank, ctx_id, src_world, tag)
+            if status is None:
+                # scheduling point: iprobe polling loops must let peers run
+                self._yield_token(rank)
+                status = self._probe_status(rank, ctx_id, src_world, tag)
+            return (status is not None), status
+
+    def pmpi_probe(self, rank: int, ctx_id: int, src_world: int, tag: int) -> Status:
+        validate_tag(tag, receiving=True)
+        with self._lock:
+            self._check_fatal(rank)
+            self._live_context(ctx_id)
+            mb = self._mail[rank]
+            self._block_until(
+                rank,
+                lambda: bool(mb.candidates_for(ctx_id, src_world, tag))
+                or self._fatal is not None,
+                f"probe(src={src_world}, tag={tag}, ctx={ctx_id})",
+            )
+            self._check_fatal(rank)
+            self.clocks.advance(rank, self.cost.local_op)
+            status = self._probe_status(rank, ctx_id, src_world, tag)
+            assert status is not None
+            return status
+
+    # ------------------------------------------------------------------ #
+    # collectives                                                         #
+    # ------------------------------------------------------------------ #
+
+    def pmpi_collective(
+        self,
+        rank: int,
+        ctx_id: int,
+        kind: str,
+        payload: Any = None,
+        root_world: Optional[int] = None,
+        op: Optional[ReduceOp] = None,
+    ) -> Any:
+        """All collective kinds funnel here; see :mod:`repro.mpi.collectives`
+        for pairing, agreement checks, completion rules and result values."""
+        with self._lock:
+            self._check_fatal(rank)
+            ctx = self._live_context(ctx_id)
+            if rank not in ctx.group:
+                raise InvalidCommunicatorError(
+                    f"rank {rank} not a member of {ctx.label}"
+                )
+            seq = ctx.next_collective_seq(rank)
+            key = (ctx_id, seq)
+            inst = self._collectives.get(key)
+            if inst is None:
+                inst = CollectiveInstance(ctx_id, seq, ctx.group)
+                self._collectives[key] = inst
+            now = self.clocks.now(rank)
+            inst.enter(rank, payload, kind, now, root_world, op)
+            self.stats.collectives += 1
+            if inst.all_entered and kind in ("comm_dup", "comm_split"):
+                self._finish_comm_collective(inst, ctx)
+            self._drain_collective_requests(inst)
+            for w in inst.group:
+                if w != rank:
+                    self._unblock_if_ready(w)
+            self._block_until(
+                rank,
+                lambda: inst.ready_for(rank) or self._fatal is not None,
+                f"{kind} on {ctx.label} (instance {seq})",
+            )
+            self._check_fatal(rank)
+            coll_cost = self.cost.collective_cost(len(inst.group))
+            if ctx.tool:
+                coll_cost *= self.cost.tool_factor
+            t = inst.completion_vtime(rank, coll_cost, self.cost.latency)
+            self.clocks.raise_to(rank, t)
+            result = inst.result_for(rank)
+            self._retire_collective(key, inst)
+            self._maybe_yield(rank)
+            return result
+
+    def pmpi_icollective(
+        self,
+        rank: int,
+        ctx_id: int,
+        kind: str,
+        payload: Any = None,
+        root_world: Optional[int] = None,
+        op: Optional[ReduceOp] = None,
+        proc=None,
+    ) -> Request:
+        """Non-blocking collective (MPI-3 ibarrier/ibcast/iallreduce/...):
+        enters the instance immediately and returns a request that
+        completes once the kind's completion rule is satisfied."""
+        with self._lock:
+            self._check_fatal(rank)
+            ctx = self._live_context(ctx_id)
+            if rank not in ctx.group:
+                raise InvalidCommunicatorError(f"rank {rank} not a member of {ctx.label}")
+            seq = ctx.next_collective_seq(rank)
+            key = (ctx_id, seq)
+            inst = self._collectives.get(key)
+            if inst is None:
+                inst = CollectiveInstance(ctx_id, seq, ctx.group)
+                self._collectives[key] = inst
+            inst.enter(rank, payload, kind, self.clocks.now(rank), root_world, op)
+            self.stats.collectives += 1
+            if inst.all_entered and kind in ("comm_dup", "comm_split"):
+                self._finish_comm_collective(inst, ctx)
+            req = Request(RequestKind.COLL, rank, ctx_id, proc=proc)
+            req.post_vtime = self.clocks.now(rank)
+            inst.pending_requests.append((rank, req, key))
+            self._drain_collective_requests(inst)
+            # arrivals may also unblock *blocking* participants
+            for w in inst.group:
+                if w != rank:
+                    self._unblock_if_ready(w)
+            self._maybe_yield(rank)
+            return req
+
+    def _drain_collective_requests(self, inst: CollectiveInstance) -> None:
+        """Complete every pending non-blocking participation whose rank is
+        now allowed to finish."""
+        still = []
+        for rank, req, key in inst.pending_requests:
+            if inst.kind is not None and inst.ready_for(rank):
+                req.data = inst.result_for(rank)
+                req.complete_vtime = inst.completion_vtime(
+                    rank, self.cost.collective_cost(len(inst.group)), self.cost.latency
+                )
+                req.status = Status()
+                req.state = RequestState.COMPLETE
+                self._retire_collective(key, inst)
+                self._unblock_if_ready(rank)
+            else:
+                still.append((rank, req, key))
+        inst.pending_requests[:] = still
+
+    def _retire_collective(self, key, inst: CollectiveInstance) -> None:
+        """Drop a collective instance once every member's participation
+        (blocking or via request) has been consumed."""
+        done = self._coll_done.get(key, 0) + 1
+        if done == len(inst.group):
+            self._collectives.pop(key, None)
+            self._coll_done.pop(key, None)
+        else:
+            self._coll_done[key] = done
+
+    def _finish_comm_collective(self, inst: CollectiveInstance, parent: CommContext) -> None:
+        """Create the new context(s) for a completed comm_dup/comm_split."""
+        if inst.kind == "comm_dup":
+            new_ctx = self._new_context(
+                parent.group, parent=parent.ctx, label=f"{parent.label}.dup"
+            )
+            for w in inst.group:
+                inst.install_result(w, new_ctx)
+            return
+        # comm_split: contributions are (color, key) pairs
+        by_color: dict[int, list[tuple[int, int, int]]] = {}
+        for comm_rank, w in enumerate(inst.group):
+            color, key = inst.contributions[w]
+            if color == UNDEFINED:
+                inst.install_result(w, None)
+                continue
+            if not isinstance(color, int) or color < 0:
+                raise MPIError(f"comm_split color must be a non-negative int, got {color!r}")
+            by_color.setdefault(color, []).append((key, comm_rank, w))
+        for color, members in sorted(by_color.items()):
+            members.sort()  # by (key, original comm rank) — MPI's ordering rule
+            group = tuple(w for _, _, w in members)
+            new_ctx = self._new_context(
+                group, parent=parent.ctx, label=f"{parent.label}.split{color}"
+            )
+            for w in group:
+                inst.install_result(w, new_ctx)
+
+    # ------------------------------------------------------------------ #
+    # communicator free                                                   #
+    # ------------------------------------------------------------------ #
+
+    def pmpi_comm_free(self, rank: int, ctx_id: int) -> None:
+        with self._lock:
+            self._check_fatal(rank)
+            ctx = self.contexts.get(ctx_id)
+            if ctx is None:
+                raise InvalidCommunicatorError(f"unknown context {ctx_id}")
+            if rank in ctx.freed_by:
+                raise InvalidCommunicatorError(
+                    f"rank {rank} freed communicator {ctx.label} twice"
+                )
+            ctx.freed_by.add(rank)
+            self.clocks.advance(rank, self.cost.local_op)
+
+    # ------------------------------------------------------------------ #
+    # misc                                                                #
+    # ------------------------------------------------------------------ #
+
+    def pmpi_compute(self, rank: int, seconds: float) -> None:
+        """Model local computation: advances virtual time only."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        with self._lock:
+            self._check_fatal(rank)
+            self.clocks.advance(rank, seconds)
+            self._maybe_yield(rank)
+
+    def charge(self, rank: int, seconds: float) -> None:
+        """Advance a rank's virtual clock by tool-side CPU time (used by
+        interposition modules to model their own overhead)."""
+        with self._lock:
+            self.clocks.advance(rank, seconds)
+
+    def pmpi_pcontrol(self, rank: int, level: int) -> None:
+        """No engine semantics; tool modules interpret (loop abstraction)."""
+        with self._lock:
+            self._check_fatal(rank)
+
+    def pmpi_abort(self, rank: int, errorcode: int = 1) -> None:
+        exc = AbortError(rank, errorcode)
+        self.kill(exc)
+        raise exc
+
+    def pmpi_yield(self, rank: int) -> None:
+        """Explicit voluntary scheduling point (used by busy-poll loops)."""
+        with self._lock:
+            self._check_fatal(rank)
+            self._yield_token(rank)
+
+    def visit_central(self, rank: int, service: float) -> None:
+        """Synchronous round-trip to the serialised central resource (the
+        ISP scheduler).  Charges latency out, queueing + service, latency
+        back — all on this rank's virtual clock."""
+        with self._lock:
+            arrival = self.clocks.now(rank) + self.cost.latency
+            done = self.central.visit(arrival, service)
+            self.clocks.raise_to(rank, done + self.cost.latency)
+
+    # -- introspection for tools/tests -------------------------------------
+
+    def unexpected_envelopes(self) -> list[tuple[int, Envelope]]:
+        """Post-mortem introspection: every arrived-but-unreceived envelope
+        as ``(destination rank, envelope)``.  Used by DAMPI to analyse the
+        queues of a deadlocked/crashed run (call after the job ended)."""
+        with self._lock:
+            return [
+                (rank, env)
+                for rank, mb in enumerate(self._mail)
+                for env in mb.unexpected
+            ]
+
+    def mailbox_depths(self) -> list[tuple[int, int]]:
+        with self._lock:
+            return [mb.pending_counts() for mb in self._mail]
+
+    def pending_unexpected(self, rank: int) -> int:
+        with self._lock:
+            return len(self._mail[rank].unexpected)
+
+    @property
+    def makespan(self) -> float:
+        return self.clocks.makespan

@@ -1,0 +1,182 @@
+"""Point-to-point message matching.
+
+The engine keeps, per destination world rank, two structures that mirror a
+real MPI library's *unexpected message queue* and *posted receive queue*:
+
+* arrived envelopes not yet consumed by any receive, in arrival order
+  (which, per ``(source, context, tag)`` stream, is send order — this is
+  what makes first-compatible scanning implement MPI's non-overtaking
+  rule), and
+* posted-but-unmatched receive requests, in post order.
+
+Wildcard receives may be satisfiable by several sources at once; a
+pluggable :class:`MatchPolicy` picks the winner.  The policy models the
+"MPI implementations bias non-deterministic outcomes" phenomenon from the
+paper's introduction: DAMPI's whole job is to cover the outcomes a fixed
+policy would never produce.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.message import Envelope
+from repro.mpi.request import Request
+
+
+class MatchPolicy:
+    """Chooses among candidate envelopes for a wildcard receive.
+
+    ``choose`` receives one candidate per eligible source — each already the
+    earliest matchable message from that source — and returns the winner.
+    Subclasses must be deterministic functions of their construction
+    arguments plus the candidate list if replays are to be reproducible.
+    """
+
+    name = "abstract"
+
+    def choose(self, candidates: list[Envelope]) -> Envelope:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"MatchPolicy({self.name})"
+
+
+class ArrivalPolicy(MatchPolicy):
+    """Pick the candidate that arrived first (lowest queue position).
+
+    Candidates are presented in queue order, so this is simply the head —
+    the behaviour of most eager-protocol MPI libraries.
+    """
+
+    name = "arrival"
+
+    def choose(self, candidates: list[Envelope]) -> Envelope:
+        return candidates[0]
+
+
+class LowestRankPolicy(MatchPolicy):
+    """Always favour the lowest source rank — maximally biased, the kind of
+    implementation determinism that masks Heisenbugs."""
+
+    name = "lowest_rank"
+
+    def choose(self, candidates: list[Envelope]) -> Envelope:
+        return min(candidates, key=lambda e: e.src)
+
+
+class HighestRankPolicy(MatchPolicy):
+    """Mirror of :class:`LowestRankPolicy`; useful in tests to force the
+    'other' native outcome."""
+
+    name = "highest_rank"
+
+    def choose(self, candidates: list[Envelope]) -> Envelope:
+        return max(candidates, key=lambda e: e.src)
+
+
+class SeededRandomPolicy(MatchPolicy):
+    """Seeded pseudo-random choice — a Jitterbug-style perturbation baseline.
+
+    Deterministic given the seed and the call sequence, so a run is
+    reproducible, but distinct seeds sample distinct interleavings with no
+    coverage guarantee (the contrast the paper draws with random-delay
+    testing).
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: list[Envelope]) -> Envelope:
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+_POLICIES: dict[str, Callable[[], MatchPolicy]] = {
+    "arrival": ArrivalPolicy,
+    "lowest_rank": LowestRankPolicy,
+    "highest_rank": HighestRankPolicy,
+}
+
+
+def make_policy(spec) -> MatchPolicy:
+    """Build a policy from a spec: an instance, a name, or ``random:<seed>``."""
+    if isinstance(spec, MatchPolicy):
+        return spec
+    if isinstance(spec, str):
+        if spec in _POLICIES:
+            return _POLICIES[spec]()
+        if spec.startswith("random"):
+            _, _, seed = spec.partition(":")
+            return SeededRandomPolicy(int(seed) if seed else 0)
+    raise ValueError(f"unknown match policy {spec!r}")
+
+
+class MailBox:
+    """Unexpected-message and posted-receive queues for one destination rank."""
+
+    __slots__ = ("dst", "unexpected", "posted")
+
+    def __init__(self, dst: int):
+        self.dst = dst
+        self.unexpected: list[Envelope] = []
+        self.posted: list[Request] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def candidates_for(self, ctx: int, src: int, tag: int) -> list[Envelope]:
+        """Matchable envelopes for a (possibly wildcard) selector.
+
+        Returns at most one envelope per source: the earliest compatible
+        one from that source's stream.  For the non-overtaking rule to
+        hold, that earliest compatible envelope is the *only* legal match
+        from that source.
+        """
+        out: dict[int, Envelope] = {}
+        for env in self.unexpected:
+            if env.ctx != ctx or env.src in out:
+                continue
+            if env.compatible(src, tag):
+                out[env.src] = env
+        return list(out.values())
+
+    def first_posted_match(self, env: Envelope) -> Optional[Request]:
+        """Oldest posted receive this envelope may complete, honouring
+        non-overtaking: if an older unmatched envelope from the same stream
+        and tag exists, this envelope must not be delivered yet."""
+        for older in self.unexpected:
+            if (
+                older.ctx == env.ctx
+                and older.src == env.src
+                and older.tag == env.tag
+            ):
+                # an older same-stream same-tag envelope is still queued;
+                # it must match first.
+                return None
+        for req in self.posted:
+            if req.ctx == env.ctx and env.compatible(req.effective_src, req.posted_tag):
+                return req
+        return None
+
+    # -- mutations (engine calls these under its lock) ----------------------
+
+    def add_unexpected(self, env: Envelope) -> None:
+        self.unexpected.append(env)
+
+    def remove_unexpected(self, env: Envelope) -> None:
+        self.unexpected.remove(env)
+
+    def add_posted(self, req: Request) -> None:
+        self.posted.append(req)
+
+    def remove_posted(self, req: Request) -> None:
+        self.posted.remove(req)
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(unexpected, posted) queue depths — used in diagnostics and the
+        ISP cost model's state-size term."""
+        return len(self.unexpected), len(self.posted)

@@ -1,0 +1,81 @@
+"""Message envelopes flowing through the engine.
+
+An :class:`Envelope` is one eager point-to-point message: payload plus the
+metadata the matching layer needs (world-rank source/dest, context id, tag,
+a per-``(source, dest, context)`` sequence number that encodes MPI's
+non-overtaking order, and virtual send/arrival times for the cost model).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mpi.datatypes import sizeof
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class Envelope:
+    """One in-flight (or delivered) point-to-point message.
+
+    Attributes
+    ----------
+    src, dst:
+        World ranks of sender and receiver.
+    ctx:
+        Context id of the communicator the message was sent on.
+    tag:
+        User tag (never a wildcard — wildcards live on the receive side).
+    payload:
+        The Python object being transferred.
+    seq:
+        Position of this message in the sender's stream towards ``dst`` on
+        ``ctx`` (0-based).  Non-overtaking means a receive may only match
+        this envelope if every earlier same-tag envelope in the stream has
+        already been matched; the matcher enforces it by scanning in
+        ``seq`` order.
+    send_vtime / arrival_vtime:
+        Virtual clock at the sender when issued, and at the receiver NIC
+        when it becomes matchable (cost model).
+    """
+
+    src: int
+    dst: int
+    ctx: int
+    tag: int
+    payload: Any
+    seq: int
+    send_vtime: float = 0.0
+    arrival_vtime: float = 0.0
+    uid: int = field(default_factory=lambda: next(_envelope_ids))
+    #: Set when a receive consumes this envelope (for diagnostics/tracing).
+    matched: bool = False
+    #: For synchronous sends (MPI_Issend): the send request to complete
+    #: when this envelope is matched (rendezvous semantics).
+    sync_req: object = None
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated wire size, used for bandwidth charging."""
+        return sizeof(self.payload)
+
+    def compatible(self, want_src: int, want_tag: int) -> bool:
+        """Does this envelope satisfy a receive's (source, tag) selector?
+
+        ``want_src``/``want_tag`` may be wildcards (``ANY_SOURCE`` /
+        ``ANY_TAG``); the context is checked by the matcher, not here.
+        """
+        from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+        src_ok = want_src == ANY_SOURCE or want_src == self.src
+        tag_ok = want_tag == ANY_TAG or want_tag == self.tag
+        return src_ok and tag_ok
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(#{self.uid} {self.src}->{self.dst} ctx={self.ctx} "
+            f"tag={self.tag} seq={self.seq})"
+        )

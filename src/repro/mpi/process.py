@@ -1,0 +1,440 @@
+"""Per-rank process handle: the MPI API surface programs call.
+
+A :class:`Proc` owns one rank's view of the job: its world communicator
+handle, its compiled interposition chains, and the ``pmpi`` facade tool
+modules use to issue *uninstrumented* operations (DAMPI's piggyback traffic
+must not re-enter DAMPI).
+
+Blocking operations are composed from their non-blocking parts *above* the
+tool stack — ``send = isend; wait`` — exactly how ISP/DAMPI reason about
+MPI: tools only ever need to wrap ``isend``/``irecv``/``wait``/``test``
+plus probes and collectives (paper Algorithm 1 shows precisely these).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import InvalidRequestError, MPIError
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, SUM, UNDEFINED, ReduceOp
+from repro.mpi.engine import MessageEngine
+from repro.mpi.request import Request, RequestKind, RequestState, Status
+
+
+class _PMPI:
+    """Uninstrumented ("PMPI") access for tool modules.
+
+    Every method calls the engine binding directly, bypassing the tool
+    stack.  Tools receive this via ``proc.pmpi``.
+    """
+
+    __slots__ = ("_proc",)
+
+    def __init__(self, proc: "Proc"):
+        self._proc = proc
+
+    #: waitall/waitany bottoms re-enter the instrumented wait chain (see
+    #: Proc._pmpi_waitall) and so are not pure PMPI — tools loop over
+    #: ``pmpi.wait`` themselves instead.
+    _IMPURE = frozenset({"waitall", "waitany"})
+
+    def __getattr__(self, point: str):
+        if point in self._IMPURE:
+            raise AttributeError(
+                f"pmpi.{point} is not uninstrumented; loop over pmpi.wait instead"
+            )
+        try:
+            return self._proc._bottoms[point]
+        except KeyError:
+            raise AttributeError(f"no PMPI entry point {point!r}") from None
+
+
+class Proc:
+    """One rank's handle onto the simulated MPI job."""
+
+    def __init__(self, world_rank: int, engine: MessageEngine, runtime=None):
+        self.world_rank = world_rank
+        self.engine = engine
+        self.runtime = runtime
+        self.initialized = False
+        self.finalized = False
+        #: wildcard receives rewritten by a tool get their original selector
+        #: preserved on the Request (posted_src); nothing needed here.
+        self.world = Communicator(engine.world, self)
+        self._bottoms = self._make_bottoms()
+        self.pmpi = _PMPI(self)
+        self._chains = self._bottoms  # replaced by runtime when a stack exists
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """World rank (alias; communicator-specific ranks via ``comm.rank``)."""
+        return self.world_rank
+
+    @property
+    def size(self) -> int:
+        return self.engine.nprocs
+
+    # ------------------------------------------------------------------ #
+    # PMPI bottoms: translate comm-local ranks, call the engine           #
+    # ------------------------------------------------------------------ #
+
+    def _make_bottoms(self) -> dict:
+        return {
+            "init": self._pmpi_init,
+            "finalize": self._pmpi_finalize,
+            "isend": self._pmpi_isend,
+            "issend": self._pmpi_issend,
+            "irecv": self._pmpi_irecv,
+            "wait": self._pmpi_wait,
+            "waitall": self._pmpi_waitall,
+            "waitany": self._pmpi_waitany,
+            "test": self._pmpi_test,
+            "probe": self._pmpi_probe,
+            "iprobe": self._pmpi_iprobe,
+            "barrier": self._pmpi_barrier,
+            "ibarrier": self._pmpi_ibarrier,
+            "bcast": self._pmpi_bcast,
+            "ibcast": self._pmpi_ibcast,
+            "reduce": self._pmpi_reduce,
+            "allreduce": self._pmpi_allreduce,
+            "iallreduce": self._pmpi_iallreduce,
+            "gather": self._pmpi_gather,
+            "scatter": self._pmpi_scatter,
+            "allgather": self._pmpi_allgather,
+            "alltoall": self._pmpi_alltoall,
+            "reduce_scatter": self._pmpi_reduce_scatter,
+            "scan": self._pmpi_scan,
+            "comm_dup": self._pmpi_comm_dup,
+            "comm_split": self._pmpi_comm_split,
+            "comm_free": self._pmpi_comm_free,
+            "request_free": self._pmpi_request_free,
+            "pcontrol": self._pmpi_pcontrol,
+            "compute": self._pmpi_compute,
+        }
+
+    def _pmpi_init(self) -> None:
+        self.initialized = True
+
+    def _pmpi_finalize(self) -> None:
+        self.finalized = True
+
+    def _to_world(self, comm: Communicator, peer: int) -> int:
+        if peer in (ANY_SOURCE, PROC_NULL):
+            return peer
+        return comm.context.world_rank(peer)
+
+    def _pmpi_isend(self, comm: Communicator, payload: Any, dest: int, tag: int) -> Request:
+        if dest == PROC_NULL:
+            return self._null_request(RequestKind.SEND, comm)
+        return self.engine.pmpi_isend(
+            self.world_rank, comm.ctx, payload, self._to_world(comm, dest), tag, proc=self
+        )
+
+    def _pmpi_issend(self, comm: Communicator, payload: Any, dest: int, tag: int) -> Request:
+        if dest == PROC_NULL:
+            return self._null_request(RequestKind.SEND, comm)
+        return self.engine.pmpi_issend(
+            self.world_rank, comm.ctx, payload, self._to_world(comm, dest), tag, proc=self
+        )
+
+    def _pmpi_irecv(self, comm: Communicator, source: int, tag: int) -> Request:
+        if source == PROC_NULL:
+            return self._null_request(RequestKind.RECV, comm)
+        return self.engine.pmpi_irecv(
+            self.world_rank, comm.ctx, self._to_world(comm, source), tag, proc=self
+        )
+
+    def _null_request(self, kind: RequestKind, comm: Communicator) -> Request:
+        """Transfers to/from MPI_PROC_NULL complete immediately, no data."""
+        req = Request(kind, self.world_rank, comm.ctx, posted_src=PROC_NULL, proc=self)
+        req.state = RequestState.COMPLETE
+        req.status = Status(source=PROC_NULL, tag=UNDEFINED)
+        req.complete_vtime = self.engine.clocks.now(self.world_rank)
+        return req
+
+    def _pmpi_wait(self, req: Request) -> Status:
+        return self.engine.pmpi_wait(self.world_rank, req)
+
+    def _pmpi_waitall(self, reqs: list) -> list:
+        """Bottom of the waitall chain: completes each request through the
+        *instrumented* wait chain, so per-request tool work (piggyback
+        pairing, late-message analysis) still happens.  Modules that must
+        count/charge MPI_Waitall as one call wrap the ``waitall`` entry
+        point and suppress their per-wait hook inside it."""
+        return [self.wait(r) for r in reqs]
+
+    def _pmpi_waitany(self, reqs: list) -> tuple:
+        idx = self.engine.pmpi_waitany_block(self.world_rank, list(reqs))
+        return idx, self.wait(reqs[idx])
+
+    def _pmpi_test(self, req: Request):
+        return self.engine.pmpi_test(self.world_rank, req)
+
+    def _pmpi_probe(self, comm: Communicator, source: int, tag: int) -> Status:
+        return self.engine.pmpi_probe(
+            self.world_rank, comm.ctx, self._to_world(comm, source), tag
+        )
+
+    def _pmpi_iprobe(self, comm: Communicator, source: int, tag: int):
+        return self.engine.pmpi_iprobe(
+            self.world_rank, comm.ctx, self._to_world(comm, source), tag
+        )
+
+    def _coll(self, comm: Communicator, kind: str, payload=None, root=None, op=None):
+        root_world = None if root is None else self._to_world(comm, root)
+        return self.engine.pmpi_collective(
+            self.world_rank, comm.ctx, kind, payload, root_world, op
+        )
+
+    def _pmpi_barrier(self, comm: Communicator) -> None:
+        self._coll(comm, "barrier")
+
+    def _icoll(self, comm: Communicator, kind: str, payload=None, root=None, op=None) -> Request:
+        root_world = None if root is None else self._to_world(comm, root)
+        return self.engine.pmpi_icollective(
+            self.world_rank, comm.ctx, kind, payload, root_world, op, proc=self
+        )
+
+    def _pmpi_ibarrier(self, comm: Communicator) -> Request:
+        return self._icoll(comm, "barrier")
+
+    def _pmpi_ibcast(self, comm: Communicator, payload: Any, root: int) -> Request:
+        return self._icoll(comm, "bcast", payload, root)
+
+    def _pmpi_iallreduce(self, comm: Communicator, payload: Any, op: ReduceOp) -> Request:
+        return self._icoll(comm, "allreduce", payload, None, op or SUM)
+
+    def _pmpi_bcast(self, comm: Communicator, payload: Any, root: int) -> Any:
+        return self._coll(comm, "bcast", payload, root)
+
+    def _pmpi_reduce(self, comm: Communicator, payload: Any, op: ReduceOp, root: int) -> Any:
+        return self._coll(comm, "reduce", payload, root, op or SUM)
+
+    def _pmpi_allreduce(self, comm: Communicator, payload: Any, op: ReduceOp) -> Any:
+        return self._coll(comm, "allreduce", payload, None, op or SUM)
+
+    def _pmpi_gather(self, comm: Communicator, payload: Any, root: int):
+        return self._coll(comm, "gather", payload, root)
+
+    def _pmpi_scatter(self, comm: Communicator, payloads, root: int):
+        return self._coll(comm, "scatter", payloads, root)
+
+    def _pmpi_allgather(self, comm: Communicator, payload: Any):
+        return self._coll(comm, "allgather", payload)
+
+    def _pmpi_alltoall(self, comm: Communicator, payloads):
+        return self._coll(comm, "alltoall", payloads)
+
+    def _pmpi_reduce_scatter(self, comm: Communicator, payloads, op: ReduceOp):
+        return self._coll(comm, "reduce_scatter", payloads, None, op or SUM)
+
+    def _pmpi_scan(self, comm: Communicator, payload: Any, op: ReduceOp) -> Any:
+        return self._coll(comm, "scan", payload, None, op or SUM)
+
+    def _pmpi_comm_dup(self, comm: Communicator) -> Communicator:
+        ctx = self._coll(comm, "comm_dup")
+        return Communicator(ctx, self)
+
+    def _pmpi_comm_split(self, comm: Communicator, color: int, key: int):
+        ctx = self._coll(comm, "comm_split", (color, key))
+        return None if ctx is None else Communicator(ctx, self)
+
+    def _pmpi_comm_free(self, comm: Communicator) -> None:
+        self.engine.pmpi_comm_free(self.world_rank, comm.ctx)
+
+    def _pmpi_request_free(self, req: Request) -> None:
+        self.engine.pmpi_request_free(self.world_rank, req)
+
+    def _pmpi_pcontrol(self, level: int) -> None:
+        self.engine.pmpi_pcontrol(self.world_rank, level)
+
+    def _pmpi_compute(self, seconds: float) -> None:
+        self.engine.pmpi_compute(self.world_rank, seconds)
+
+    # ------------------------------------------------------------------ #
+    # instrumented API (what programs and Communicator methods call)      #
+    # ------------------------------------------------------------------ #
+
+    def isend(self, comm, payload, dest, tag=0) -> Request:
+        return self._chains["isend"](comm, payload, dest, tag)
+
+    def issend(self, comm, payload, dest, tag=0) -> Request:
+        return self._chains["issend"](comm, payload, dest, tag)
+
+    def irecv(self, comm, source=ANY_SOURCE, tag=ANY_TAG, max_count=None) -> Request:
+        req = self._chains["irecv"](comm, source, tag)
+        req.max_count = max_count
+        return req
+
+    def wait(self, req: Request) -> Status:
+        return self._chains["wait"](req)
+
+    def test(self, req: Request):
+        return self._chains["test"](req)
+
+    def probe(self, comm, source=ANY_SOURCE, tag=ANY_TAG) -> Status:
+        return self._chains["probe"](comm, source, tag)
+
+    def iprobe(self, comm, source=ANY_SOURCE, tag=ANY_TAG):
+        return self._chains["iprobe"](comm, source, tag)
+
+    def barrier(self, comm) -> None:
+        return self._chains["barrier"](comm)
+
+    def ibarrier(self, comm) -> Request:
+        return self._chains["ibarrier"](comm)
+
+    def ibcast(self, comm, payload=None, root=0) -> Request:
+        return self._chains["ibcast"](comm, payload, root)
+
+    def iallreduce(self, comm, payload, op=None) -> Request:
+        return self._chains["iallreduce"](comm, payload, op)
+
+    def bcast(self, comm, payload=None, root=0):
+        return self._chains["bcast"](comm, payload, root)
+
+    def reduce(self, comm, payload, op=None, root=0):
+        return self._chains["reduce"](comm, payload, op, root)
+
+    def allreduce(self, comm, payload, op=None):
+        return self._chains["allreduce"](comm, payload, op)
+
+    def gather(self, comm, payload, root=0):
+        return self._chains["gather"](comm, payload, root)
+
+    def scatter(self, comm, payloads=None, root=0):
+        return self._chains["scatter"](comm, payloads, root)
+
+    def allgather(self, comm, payload):
+        return self._chains["allgather"](comm, payload)
+
+    def alltoall(self, comm, payloads):
+        return self._chains["alltoall"](comm, payloads)
+
+    def reduce_scatter(self, comm, payloads, op=None):
+        return self._chains["reduce_scatter"](comm, payloads, op)
+
+    def scan(self, comm, payload, op=None):
+        return self._chains["scan"](comm, payload, op)
+
+    def comm_dup(self, comm) -> Communicator:
+        return self._chains["comm_dup"](comm)
+
+    def comm_split(self, comm, color, key=0):
+        return self._chains["comm_split"](comm, color, key)
+
+    def comm_free(self, comm) -> None:
+        return self._chains["comm_free"](comm)
+
+    def request_free(self, req: Request) -> None:
+        return self._chains["request_free"](req)
+
+    def pcontrol(self, level: int) -> None:
+        """``MPI_Pcontrol`` — DAMPI's loop-iteration-abstraction marker.
+
+        ``level >= 1`` opens a no-explore region, ``level == 0`` closes it
+        (see :mod:`repro.dampi.explorer`)."""
+        return self._chains["pcontrol"](level)
+
+    def compute(self, seconds: float) -> None:
+        """Model local computation of ``seconds`` virtual seconds."""
+        return self._chains["compute"](seconds)
+
+    def wtime(self) -> float:
+        """This rank's virtual clock in seconds (``MPI_Wtime``)."""
+        return self.engine.clocks.now(self.world_rank)
+
+    def finalize(self) -> None:
+        if self.finalized:
+            raise MPIError(f"rank {self.world_rank} finalized twice")
+        self._chains["finalize"]()
+
+    def abort(self, errorcode: int = 1) -> None:
+        """``MPI_Abort``: kill every rank of the job."""
+        self.engine.pmpi_abort(self.world_rank, errorcode)
+
+    # -- blocking compositions (instrumented at the i*/wait level) ----------
+
+    def send(self, comm, payload, dest, tag=0) -> None:
+        req = self.isend(comm, payload, dest, tag)
+        self.wait(req)
+
+    def ssend(self, comm, payload, dest, tag=0) -> None:
+        """Blocking synchronous send: returns only once the message has
+        been matched by a receive (MPI_Ssend)."""
+        req = self.issend(comm, payload, dest, tag)
+        self.wait(req)
+
+    def recv(self, comm, source=ANY_SOURCE, tag=ANY_TAG, status: Optional[Status] = None,
+             max_count=None):
+        req = self.irecv(comm, source, tag, max_count)
+        st = self.wait(req)
+        if status is not None:
+            status.source = st.source
+            status.tag = st.tag
+            status._payload = st._payload
+        return req.data
+
+    def sendrecv(self, comm, payload, dest, source=ANY_SOURCE, sendtag=0,
+                 recvtag=ANY_TAG, status: Optional[Status] = None):
+        rreq = self.irecv(comm, source, recvtag)
+        sreq = self.isend(comm, payload, dest, sendtag)
+        self.wait(sreq)
+        st = self.wait(rreq)
+        if status is not None:
+            status.source = st.source
+            status.tag = st.tag
+            status._payload = st._payload
+        return rreq.data
+
+    def waitall(self, reqs: Sequence[Request]) -> list[Status]:
+        """Complete every request (``MPI_Waitall``); order of blocking is
+        irrelevant since completion is independent per request."""
+        return self._chains["waitall"](list(reqs))
+
+    def waitany(self, reqs: Sequence[Request]) -> tuple[int, Status]:
+        """Block until any request completes (``MPI_Waitany``); returns
+        ``(index, status)`` and consumes that request."""
+        return self._chains["waitany"](list(reqs))
+
+    def waitsome(self, reqs: Sequence[Request]) -> tuple[list[int], list[Status]]:
+        """Block until at least one request completes, then consume *every*
+        currently-completed one (``MPI_Waitsome``); returns the indices and
+        statuses, parallel lists."""
+        reqs = list(reqs)
+        self.engine.pmpi_waitany_block(self.world_rank, reqs)
+        indices, statuses = [], []
+        for i, r in enumerate(reqs):
+            if r.state is RequestState.COMPLETE:
+                indices.append(i)
+                statuses.append(self.wait(r))
+        return indices, statuses
+
+    def testsome(self, reqs: Sequence[Request]) -> tuple[list[int], list[Status]]:
+        """Consume every currently-completed request without blocking
+        (``MPI_Testsome``); empty lists when none are ready.  A scheduling
+        point, like test."""
+        indices, statuses = [], []
+        for i, r in enumerate(reqs):
+            if r.state is RequestState.COMPLETE:
+                indices.append(i)
+                statuses.append(self.wait(r))
+        if not indices:
+            self.engine.pmpi_yield(self.world_rank)
+        return indices, statuses
+
+    def testall(self, reqs: Sequence[Request]) -> tuple[bool, Optional[list[Status]]]:
+        """``MPI_Testall``: succeed only if every request is complete.
+
+        Does not consume anything on failure (MPI semantics)."""
+        if all(r.is_complete for r in reqs):
+            return True, [self.wait(r) for r in reqs]
+        # a scheduling point, like test, to keep poll loops live
+        self.engine.pmpi_yield(self.world_rank)
+        return False, None
+
+    def __repr__(self) -> str:
+        return f"Proc(rank={self.world_rank}/{self.size})"

@@ -1,0 +1,232 @@
+"""Job runner: thread-per-rank execution of an MPI program.
+
+A *program* is a plain callable ``program(proc, *args, **kwargs)`` where
+``proc`` is the rank's :class:`~repro.mpi.process.Proc`.  The runtime
+spawns one thread per rank, threads the tool stack through every MPI call,
+and collects a :class:`RunResult` containing per-rank return values,
+errors, virtual times, and per-module artifacts.
+
+Error policy: the first rank that raises kills the job — other ranks see a
+collateral :class:`~repro.errors.AbortError` which :class:`RunResult`
+attributes to the original failure.  A proven deadlock raises
+:class:`~repro.errors.DeadlockError` in every blocked rank and is reported
+once.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import AbortError, DeadlockError
+from repro.mpi.costmodel import CostModel
+from repro.mpi.engine import MessageEngine
+from repro.mpi.process import Proc
+from repro.pnmpi.stack import ToolStack
+
+#: C-stack per rank thread.  Rank code is shallow; the default 8 MiB would
+#: needlessly bloat 1024-rank jobs.
+_THREAD_STACK_BYTES = 512 * 1024
+
+
+@dataclass
+class RunResult:
+    """Outcome of one complete program execution."""
+
+    nprocs: int
+    returns: dict[int, Any] = field(default_factory=dict)
+    errors: dict[int, BaseException] = field(default_factory=dict)
+    makespan: float = 0.0
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    central_visits: int = 0
+    central_busy: float = 0.0
+
+    @property
+    def deadlocked(self) -> bool:
+        return any(isinstance(e, DeadlockError) for e in self.errors.values())
+
+    @property
+    def deadlock(self) -> Optional[DeadlockError]:
+        for e in self.errors.values():
+            if isinstance(e, DeadlockError):
+                return e
+        return None
+
+    @property
+    def primary_errors(self) -> dict[int, BaseException]:
+        """Errors minus collateral aborts (an AbortError recorded at a rank
+        other than the one that called abort/raised) and minus duplicate
+        deadlock reports (the deadlock is surfaced via ``deadlock``)."""
+        out: dict[int, BaseException] = {}
+        seen_deadlock = False
+        for rank, e in sorted(self.errors.items()):
+            if isinstance(e, AbortError) and e.rank != rank:
+                continue
+            if isinstance(e, DeadlockError):
+                if seen_deadlock:
+                    continue
+                seen_deadlock = True
+            out[rank] = e
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_any(self) -> None:
+        """Re-raise the first primary error, if any (test convenience)."""
+        for _, e in sorted(self.primary_errors.items()):
+            raise e
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else ("deadlock" if self.deadlocked else "error")
+        return f"RunResult(nprocs={self.nprocs}, {state}, makespan={self.makespan:.6f}s)"
+
+
+class Runtime:
+    """Configure and run one simulated MPI job.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks.
+    program:
+        ``program(proc, *args, **kwargs)``; its return value lands in
+        ``RunResult.returns[rank]``.
+    modules:
+        Tool modules, outermost first (e.g. ``[TraceModule(), *dampi]``).
+    policy:
+        Wildcard match policy (see :mod:`repro.mpi.matching`).
+    mode:
+        ``"run_to_block"`` (deterministic, default), ``"rr"``, ``"free"``.
+    cost_model:
+        Virtual-time constants; default :class:`CostModel`.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        program: Callable,
+        *,
+        modules: Sequence = (),
+        policy="arrival",
+        mode: str = "run_to_block",
+        cost_model: Optional[CostModel] = None,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        name: str = "",
+    ):
+        self.nprocs = nprocs
+        self.program = program
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs or {})
+        self.name = name or getattr(program, "__name__", "program")
+        self.stack = ToolStack(modules)
+        self.engine = MessageEngine(nprocs, cost_model=cost_model, policy=policy, mode=mode)
+        self.procs = [Proc(r, self.engine, runtime=self) for r in range(nprocs)]
+        for proc in self.procs:
+            proc._chains = self.stack.compile(proc, proc._bottoms)
+        self._returns: dict[int, Any] = {}
+        self._errors: dict[int, BaseException] = {}
+        self._ran = False
+
+    def run(self, join_timeout: float = 900.0) -> RunResult:
+        """Execute the job to completion and return its :class:`RunResult`.
+
+        A runtime may only run once (engine state is single-shot); build a
+        fresh Runtime per execution — the verifiers do exactly that for
+        every interleaving.
+        """
+        if self._ran:
+            raise RuntimeError("a Runtime can only run once; create a new one")
+        self._ran = True
+
+        for module in self.stack:
+            module.setup(self)
+
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(_THREAD_STACK_BYTES)
+            threads = [
+                threading.Thread(
+                    target=self._rank_main,
+                    args=(rank,),
+                    name=f"{self.name}-rank{rank}",
+                    daemon=True,
+                )
+                for rank in range(self.nprocs)
+            ]
+        finally:
+            threading.stack_size(old_stack)
+
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=join_timeout)
+        alive = [t for t in threads if t.is_alive()]
+        if alive:
+            self.engine.kill(RuntimeError(f"runtime join timeout; stuck: {alive}"))
+            for t in alive:
+                t.join(timeout=30.0)
+
+        result = RunResult(
+            nprocs=self.nprocs,
+            returns=dict(self._returns),
+            errors=dict(self._errors),
+            makespan=self.engine.makespan,
+            central_visits=self.engine.central.visits,
+            central_busy=self.engine.central.busy_until,
+        )
+        for module in self.stack:
+            artifact = module.finish(self)
+            if artifact is not None:
+                result.artifacts[module.name] = artifact
+        return result
+
+    def _rank_main(self, rank: int) -> None:
+        proc = self.procs[rank]
+        try:
+            self.engine.thread_started(rank)
+            for module in self.stack:
+                module.attach(proc)
+            proc._chains["init"]()
+            result = self.program(proc, *self.args, **self.kwargs)
+            if not proc.finalized:
+                proc.finalize()
+            for module in reversed(list(self.stack)):
+                module.detach(proc)
+            self._returns[rank] = result
+        except BaseException as e:  # noqa: BLE001 - verifiers must see everything
+            self._errors[rank] = e
+            if not isinstance(e, (DeadlockError, AbortError)):
+                # first-party failure: tear the job down so blocked peers exit
+                abort = AbortError(rank)
+                abort.__cause__ = e
+                self.engine.kill(abort)
+        finally:
+            self.engine.thread_finished(rank)
+
+
+def run_program(
+    program: Callable,
+    nprocs: int,
+    *,
+    modules: Sequence = (),
+    policy="arrival",
+    mode: str = "run_to_block",
+    cost_model: Optional[CostModel] = None,
+    args: tuple = (),
+    kwargs: Optional[dict] = None,
+) -> RunResult:
+    """One-shot convenience: build a Runtime and run it."""
+    return Runtime(
+        nprocs,
+        program,
+        modules=modules,
+        policy=policy,
+        mode=mode,
+        cost_model=cost_model,
+        args=args,
+        kwargs=kwargs,
+    ).run()

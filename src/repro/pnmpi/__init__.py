@@ -1,0 +1,16 @@
+"""PnMPI-style tool interposition.
+
+Real DAMPI is deployed as a stack of PnMPI modules between the application
+and the MPI library (paper Fig. 1: "DAMPI-PnMPI modules").  This package
+reproduces that architecture: a :class:`ToolModule` overrides any subset of
+the MPI entry points; modules are stacked in order; each wrapper receives a
+``chain`` callable that invokes the next module down, bottoming out at the
+engine's ``PMPI_*`` implementation.  Tools can also issue *uninstrumented*
+operations through ``proc.pmpi`` — exactly how DAMPI's piggyback layer
+sends clock messages without re-entering itself.
+"""
+
+from repro.pnmpi.module import ToolModule, ENTRY_POINTS
+from repro.pnmpi.stack import ToolStack
+
+__all__ = ["ToolModule", "ToolStack", "ENTRY_POINTS"]

@@ -1,0 +1,59 @@
+"""Chain builder: compiles a module stack into per-entry-point callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.pnmpi.module import ENTRY_POINTS, ToolModule
+
+
+class ToolStack:
+    """An ordered stack of tool modules over a bottom (PMPI) layer.
+
+    ``modules[0]`` is the *outermost* module — it sees the application's
+    call first and its ``chain`` leads towards the engine.  Chains are
+    compiled once per process handle, so the per-call overhead of an
+    uninstrumented entry point is a single dict lookup done at bind time
+    (i.e. zero at call time).
+    """
+
+    def __init__(self, modules: Sequence[ToolModule]):
+        self.modules = list(modules)
+        names = [m.name for m in self.modules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tool module names in stack: {names}")
+
+    def compile(self, proc, bottoms: dict[str, Callable]) -> dict[str, Callable]:
+        """Build ``point -> callable(*args)`` chains for one process handle.
+
+        ``bottoms`` maps entry-point names to the engine-bound PMPI
+        implementations for this rank.
+        """
+        chains: dict[str, Callable] = {}
+        for point in ENTRY_POINTS:
+            chain = bottoms[point]
+            # innermost module wraps last -> iterate outermost-last
+            for module in reversed(self.modules):
+                if module.overrides(point):
+                    chain = self._wrap(module, point, proc, chain)
+            chains[point] = chain
+        return chains
+
+    @staticmethod
+    def _wrap(module: ToolModule, point: str, proc, chain: Callable) -> Callable:
+        method = getattr(module, point)
+
+        def wrapped(*args, _method=method, _proc=proc, _chain=chain):
+            return _method(_proc, _chain, *args)
+
+        wrapped.__name__ = f"{module.name}.{point}"
+        return wrapped
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __repr__(self) -> str:
+        return f"ToolStack({[m.name for m in self.modules]})"

@@ -1,0 +1,37 @@
+"""Workloads: the programs the paper evaluates DAMPI on.
+
+* :mod:`repro.workloads.patterns` — the paper's illustrative micro
+  programs (Figs. 3, 4, 10) plus parametric wildcard lattices used by
+  tests and property checks;
+* :mod:`repro.workloads.matmult` — master/slave matrix multiplication
+  (Figs. 6, 8);
+* :mod:`repro.workloads.parmetis` — a deterministic multilevel
+  graph-partitioning communication skeleton (Fig. 5, Table I);
+* :mod:`repro.workloads.nas` — NAS Parallel Benchmark communication
+  skeletons (BT, CG, DT, EP, FT, IS, LU, MG — Table II);
+* :mod:`repro.workloads.specmpi` — SpecMPI2007 skeletons (104.milc,
+  107.leslie3d, 113.GemsFDTD, 126.lammps, 130.socorro, 137.lu —
+  Table II);
+* :mod:`repro.workloads.heat` / :mod:`repro.workloads.heat2d` — working
+  heat-equation solvers (1-D with wildcard halos; 2-D on a Cartesian
+  process grid with derived-datatype column packing), numerically checked
+  against NumPy references;
+* :mod:`repro.workloads.cg_solver` — a working distributed Conjugate
+  Gradient solver (NAS CG's communication pattern with real numerics);
+* :mod:`repro.workloads.bugzoo` — a corpus of classic MPI defect
+  patterns, each pinned to the detector that must flag it.
+"""
+
+from repro.workloads.patterns import (
+    fig3_program,
+    fig4_program,
+    fig10_program,
+    wildcard_lattice,
+)
+
+__all__ = [
+    "fig3_program",
+    "fig4_program",
+    "fig10_program",
+    "wildcard_lattice",
+]

@@ -1,0 +1,91 @@
+"""A working distributed Conjugate Gradient solver.
+
+Row-block partitioned CG for a sparse SPD system: each rank owns a block
+of matrix rows and of every vector; the matvec assembles the full search
+direction with ``allgather`` and the two dot products reduce with
+``allreduce`` — the communication pattern of NAS CG, here with the
+numerics actually attached.  The distributed iterates follow the same
+recurrence as a serial NumPy implementation (differing only in the
+floating-point summation order of the reductions) and converge to the
+direct solve; the tests assert both to tight tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.constants import SUM
+
+
+def make_spd_system(n: int, seed: int = 5) -> tuple[np.ndarray, np.ndarray]:
+    """A deterministic, well-conditioned SPD matrix and right-hand side.
+
+    Diagonally-dominant symmetric matrix: A = B + B.T + n*I with sparse
+    random B — standard CG test fodder.
+    """
+    rng = np.random.default_rng(seed)
+    b_mat = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.2)
+    a = b_mat + b_mat.T + n * np.eye(n)
+    rhs = rng.standard_normal(n)
+    return a, rhs
+
+
+def serial_cg(a: np.ndarray, rhs: np.ndarray, iters: int) -> np.ndarray:
+    """The exact recurrence the distributed version computes."""
+    x = np.zeros_like(rhs)
+    r = rhs - a @ x
+    p = r.copy()
+    rs = float(r @ r)
+    for _ in range(iters):
+        ap = a @ p
+        alpha = rs / float(p @ ap)
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = float(r @ r)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x
+
+
+def _span(n: int, parts: int, index: int) -> tuple[int, int]:
+    base, extra = divmod(n, parts)
+    lo = index * base + min(index, extra)
+    return lo, lo + base + (1 if index < extra else 0)
+
+
+def cg_program(p, n: int = 32, iters: int = 12, seed: int = 5):
+    """Distributed CG; returns this rank's block of the solution.
+
+    Every rank derives the same system deterministically (stand-in for a
+    parallel file read) and owns rows ``[lo, hi)``.
+    """
+    a, rhs = make_spd_system(n, seed)
+    lo, hi = _span(n, p.size, p.rank)
+    a_rows = a[lo:hi]  # this rank's rows
+    x = np.zeros(hi - lo)
+    # full residual assembled once at start
+    r = rhs[lo:hi].copy()
+    p_full = np.concatenate(p.world.allgather(r))
+    rs = p.world.allreduce(float(r @ r), op=SUM)
+    p_local = r.copy()
+    for _ in range(iters):
+        ap_local = a_rows @ p_full  # local rows x full direction
+        p_dot_ap = p.world.allreduce(float(p_local @ ap_local), op=SUM)
+        alpha = rs / p_dot_ap
+        x = x + alpha * p_local
+        r = r - alpha * ap_local
+        rs_new = p.world.allreduce(float(r @ r), op=SUM)
+        beta = rs_new / rs
+        p_local = r + beta * p_local
+        p_full = np.concatenate(p.world.allgather(p_local))
+        rs = rs_new
+    return x
+
+
+def solve_gathered(p, **kwargs) -> "np.ndarray | None":
+    """Run distributed CG and assemble the solution on rank 0."""
+    block = cg_program(p, **kwargs)
+    blocks = p.world.gather(block, root=0)
+    if p.world.rank == 0:
+        return np.concatenate(blocks)
+    return None

@@ -1,0 +1,110 @@
+"""Master/slave matrix multiplication — the paper's matmul benchmark.
+
+The master broadcasts ``B``, carves the rows of ``A`` into blocks, sends
+one block per slave, then repeatedly waits on a **wildcard receive** for
+any finished slave and hands it the next block (paper §III: "The master
+then waits (using a wildcard receive) for a slave to finish").  Every
+wildcard receive has up to ``nslaves`` concurrent candidates, so the
+interleaving space grows exponentially with the number of blocks — the
+workload behind Fig. 6 (time vs. interleavings) and Fig. 8 (bounded
+mixing).
+
+The result is asserted against ``A @ B`` at the end, so *every* forced
+interleaving must still compute the right product — a genuine functional
+invariant the verifier exercises, not just a communication skeleton.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.request import Status
+
+#: message tags
+TAG_WORK = 1
+TAG_RESULT = 2
+TAG_STOP = 3
+
+
+def matmult_program(p, n: int = 16, blocks_per_slave: int = 2, seed: int = 7):
+    """Compute A (n×n) × B (n×n) with rank 0 as master.
+
+    ``blocks_per_slave`` controls the wildcard-receive count: the master
+    performs ``blocks_per_slave * (size-1)`` wildcard receives.
+    Requires ``size >= 2``; returns the product on rank 0.
+    """
+    if p.size < 2:
+        raise ValueError("matmult needs at least 2 ranks")
+    nslaves = p.size - 1
+    nblocks = blocks_per_slave * nslaves
+    if p.rank == 0:
+        return _master(p, n, nblocks, seed)
+    _slave(p)
+    return None
+
+
+def _master(p, n: int, nblocks: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    p.world.bcast(b, root=0)
+
+    bounds = np.linspace(0, n, nblocks + 1, dtype=int)
+    chunks = [(int(bounds[i]), int(bounds[i + 1])) for i in range(nblocks)]
+    c = np.zeros((n, n))
+    nslaves = p.size - 1
+
+    next_chunk = 0
+    outstanding = 0
+    # prime every slave with one block
+    for slave in range(1, p.size):
+        if next_chunk < nblocks:
+            lo, hi = chunks[next_chunk]
+            p.world.send((next_chunk, a[lo:hi]), dest=slave, tag=TAG_WORK)
+            next_chunk += 1
+            outstanding += 1
+    # wildcard-receive results; refill the finishing slave
+    while outstanding:
+        status = Status()
+        idx, rows = p.world.recv(source=ANY_SOURCE, tag=TAG_RESULT, status=status)
+        outstanding -= 1
+        lo, hi = chunks[idx]
+        c[lo:hi] = rows
+        if next_chunk < nblocks:
+            lo, hi = chunks[next_chunk]
+            p.world.send((next_chunk, a[lo:hi]), dest=status.source, tag=TAG_WORK)
+            next_chunk += 1
+            outstanding += 1
+    for slave in range(1, p.size):
+        p.world.send(None, dest=slave, tag=TAG_STOP)
+
+    # the invariant every interleaving must preserve
+    if not np.allclose(c, a @ b):
+        raise AssertionError("matmult produced a wrong product under this interleaving")
+    return c
+
+
+def _slave(p) -> None:
+    b = p.world.bcast(root=0)
+    while True:
+        status = Status()
+        msg = p.world.recv(source=0, status=status)
+        if status.tag == TAG_STOP:
+            return
+        idx, rows = msg
+        p.compute(1.0e-6 * rows.shape[0])  # the block multiply's virtual cost
+        p.world.send((idx, rows @ b), dest=0, tag=TAG_RESULT)
+
+
+def matmult_abstracted(p, n: int = 16, blocks_per_slave: int = 2, seed: int = 7):
+    """matmult with the master's receive loop inside an ``MPI_Pcontrol``
+    region — the loop iteration abstraction usage example (§III-B1).
+    DAMPI keeps the self-run matches for the whole farm loop."""
+    if p.rank == 0:
+        p.pcontrol(1)
+        try:
+            return matmult_program(p, n=n, blocks_per_slave=blocks_per_slave, seed=seed)
+        finally:
+            p.pcontrol(0)
+    return matmult_program(p, n=n, blocks_per_slave=blocks_per_slave, seed=seed)

@@ -1,0 +1,185 @@
+"""NAS Parallel Benchmark communication skeletons (Table II).
+
+Each function reproduces the *communication structure and intensity* of
+the corresponding NAS-PB 3.3 kernel — the two properties Table II's
+overhead and leak columns depend on.  Computation is modelled with
+``compute`` charges sized so the communication/computation balance (and
+therefore the DAMPI slowdown) lands where the paper reports it:
+
+=====  ======================================================  ========
+code   structure                                               paper
+=====  ======================================================  ========
+BT     3 sweep phases/iter of pairwise grid exchanges,         1.28×
+       medium payloads; dup'd communicator never freed (C-Leak)
+CG     sparse matvec halo (row/col partners) + 2 dot-product   1.09×
+       allreduces per iteration
+DT     one pass through a shallow data-flow tree, large        1.01×
+       payloads, compute-dominated
+EP     pure compute, one reduction at the end                  1.02×
+FT     alltoall transpose per iteration, huge payloads;        1.01×
+       dup'd communicator never freed (C-Leak)
+IS     bucket-sort: alltoall sizes + alltoall keys + allreduce 1.09×
+LU     fine-grained wavefront pipeline (tiny messages, little  2.22×
+       compute) with one wildcard receive per rank per sweep
+       (R* ≈ 1 per process — the paper's 1K at 1K procs)
+MG     V-cycle halo exchanges, shrinking payloads up the       1.15×
+       level hierarchy
+=====  ======================================================  ========
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.constants import ANY_SOURCE, SUM
+from repro.workloads.stencils import grid_partners, halo_exchange, payload_of, ring_partners
+
+
+def bt_program(p, iters: int = 12):
+    """BT: block-tridiagonal solver skeleton (C-Leak planted, per paper).
+
+    Each of the three sweep phases exchanges faces along one dimension
+    using symmetric stride pairing (rank r pairs with r±stride depending
+    on parity), so every sendrecv has a matching partner."""
+    solve_comm = p.world.dup()  # never freed: BT's Table II C-Leak
+    face = payload_of(4096)
+    strides = (1, 2, 4)
+    for _ in range(iters):
+        for stride in strides:  # x, y, z sweeps
+            if (p.rank // stride) % 2 == 0:
+                partner = p.rank + stride
+            else:
+                partner = p.rank - stride
+            if 0 <= partner < p.size:
+                p.world.sendrecv(face, dest=partner, source=partner, sendtag=3, recvtag=3)
+            p.compute(6.0e-6)
+        solve_comm.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+def cg_program(p, iters: int = 20):
+    """CG: sparse matvec halo + two reduction points per iteration."""
+    partners = grid_partners(p.rank, p.size)
+    seg = payload_of(16384)
+    rho = 1.0
+    for _ in range(iters):
+        halo_exchange(p, partners, seg, tag=11)
+        p.compute(60.0e-6)  # local matvec
+        rho = p.world.allreduce(rho, op=SUM)  # dot products
+        p.world.allreduce(rho, op=SUM)
+        p.compute(10.0e-6)
+    p.world.barrier()
+
+
+def dt_program(p, graph_depth: int = 4):
+    """DT: one pass through a binary reduction tree, compute-dominated."""
+    blob = payload_of(65536)
+    rank, size = p.rank, p.size
+    for level in range(graph_depth):
+        stride = 1 << level
+        if rank % (stride * 2) == 0:
+            src = rank + stride
+            if src < size:
+                p.world.recv(source=src, tag=20 + level)
+                p.compute(150.0e-6)
+        elif rank % stride == 0:
+            dst = rank - stride
+            p.world.send(blob, dest=dst, tag=20 + level)
+            p.compute(150.0e-6)
+        else:
+            p.compute(150.0e-6)
+    p.world.barrier()
+
+
+def ep_program(p, samples: int = 50):
+    """EP: embarrassingly parallel random sampling; one final reduction."""
+    p.compute(samples * 40.0e-6)
+    p.world.allreduce(float(p.rank), op=SUM)
+    p.world.barrier()
+
+
+def ft_program(p, iters: int = 5):
+    """FT: 3-D FFT — alltoall transposes with huge payloads (C-Leak planted)."""
+    transpose_comm = p.world.dup()  # never freed: FT's Table II C-Leak
+    slab = [payload_of(32768 // p.size) for _ in range(p.size)]
+    for _ in range(iters):
+        p.compute(400.0e-6)  # local 1-D FFTs
+        transpose_comm.alltoall(slab)
+        p.compute(400.0e-6)
+    p.world.barrier()
+
+
+def is_program(p, iters: int = 8):
+    """IS: integer bucket sort — size exchange, key exchange, verification."""
+    sizes = [1] * p.size
+    keys = [payload_of(4096 // p.size) for _ in range(p.size)]
+    for _ in range(iters):
+        p.compute(60.0e-6)  # local bucketing
+        p.world.alltoall(sizes)
+        p.world.alltoall(keys)
+        p.world.allreduce(1, op=SUM)
+        p.compute(25.0e-6)
+    p.world.barrier()
+
+
+def lu_program(p, sweeps: int = 3, pencil: int = 60, chain: int = 16):
+    """LU: SSOR wavefront pipeline — fine-grained messages, little compute.
+
+    Ranks form independent wavefront chains of length ``chain`` (LU's 2-D
+    processor grid pipelines along both axes; short chains keep per-rank
+    message cost, not end-to-end latency, on the critical path).  Each
+    sweep pipelines ``pencil`` tiny messages downstream; the sweep's
+    head-of-pipeline receive uses ``MPI_ANY_SOURCE`` (the downstream rank
+    knows a message is due but not which pencil finishes first), giving
+    Table II's R* ≈ one wildcard per rank per run at 1K processes.
+    """
+    rank, size = p.rank, p.size
+    lane = rank % chain
+    up = rank - 1 if lane > 0 else -1
+    down = rank + 1 if (lane < chain - 1 and rank + 1 < size) else size
+    tiny = payload_of(32)
+    for s in range(sweeps):
+        if up >= 0:
+            # head-of-sweep: wildcard receive (R* contributor)
+            if s == 0:
+                p.world.recv(source=ANY_SOURCE, tag=30)
+            else:
+                p.world.recv(source=up, tag=30)
+            for _ in range(pencil - 1):
+                p.world.recv(source=up, tag=31)
+                p.compute(0.05e-6)
+        if down < size:
+            p.world.send(tiny, dest=down, tag=30)  # head of the pipeline
+            for _ in range(pencil - 1):
+                p.compute(0.05e-6)
+                p.world.send(tiny, dest=down, tag=31)
+        p.compute(1.0e-6)
+    p.world.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+def mg_program(p, vcycles: int = 6, levels: int = 4):
+    """MG: multigrid V-cycles — halo payloads shrink up the hierarchy."""
+    partners = grid_partners(p.rank, p.size)
+    for _ in range(vcycles):
+        for level in range(levels):  # restriction leg
+            halo_exchange(p, partners, payload_of(16384 >> level), tag=40 + level)
+            p.compute(45.0e-6 / (1 << level))
+        for level in reversed(range(levels)):  # prolongation leg
+            halo_exchange(p, partners, payload_of(16384 >> level), tag=50 + level)
+            p.compute(45.0e-6 / (1 << level))
+        p.world.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+#: name -> (program, default kwargs) — the Table II NAS rows
+NAS_PROGRAMS = {
+    "BT": (bt_program, {}),
+    "CG": (cg_program, {}),
+    "DT": (dt_program, {}),
+    "EP": (ep_program, {}),
+    "FT": (ft_program, {}),
+    "IS": (is_program, {}),
+    "LU": (lu_program, {}),
+    "MG": (mg_program, {}),
+}

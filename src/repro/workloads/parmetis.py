@@ -1,0 +1,100 @@
+"""ParMETIS-3.1 communication skeleton (Fig. 5, Table I).
+
+ParMETIS is *fully deterministic* (no wildcards): the paper uses it purely
+to measure tool overhead and scheduler scalability.  What matters for both
+is the operation mix, which Table I characterises precisely:
+
+* total MPI ops grow ≈2.5× per process-count doubling, per-process ops
+  only ≈1.3× (the work per rank grows slowly; ranks talk to more
+  neighbours at scale);
+* Send-Recv dominates; Waits are batched (Waitall counts once);
+* collectives *per process* shrink as the process count grows.
+
+The skeleton models multilevel partitioning: per coarsening round each
+rank exchanges halos with ``d(p) ∝ p^0.55`` neighbours (non-blocking,
+half waited individually, the rest via one Waitall), performs one
+pairwise heavy-edge-matching exchange, and joins a global reduction at a
+rate that shrinks slowly with scale.  Knob calibration against Table I is
+checked by the Table-I bench and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.constants import SUM
+
+#: Calibration constants (fit against Table I; see bench_table1).
+_NEIGHBOR_BASE = 3.2
+_NEIGHBOR_EXP = 0.55
+_ROUNDS_BASE = 1800
+_COLLECTIVE_RATE_EXP = 0.2
+_HALO_BYTES = 16384
+_MATCH_BYTES = 512
+
+
+def neighbor_count(p: int) -> int:
+    """Halo-exchange partner count at ``p`` processes."""
+    return max(2, round(_NEIGHBOR_BASE * (p / 8.0) ** _NEIGHBOR_EXP))
+
+
+def round_count(scale: float) -> int:
+    """Coarsening+refinement rounds; ``scale=1`` targets Table I magnitudes."""
+    return max(1, int(_ROUNDS_BASE * scale))
+
+
+def parmetis_program(p, scale: float = 1.0, payload_bytes: int = _HALO_BYTES):
+    """The skeleton; fully deterministic, returns a checksum.
+
+    ``scale`` linearly scales the number of rounds (op counts scale with
+    it); the default reproduces Table I magnitudes and is expensive —
+    benches default to a documented fraction.
+    """
+    size, rank = p.size, p.rank
+    # ParMETIS internally duplicates the user's communicator and (in 3.1)
+    # never frees it — the C-Leak DAMPI reports in Table II.
+    work_comm = p.world.dup()
+    rounds = round_count(scale)
+    d = neighbor_count(size)
+    halo = np.zeros(payload_bytes // 8)
+    match_payload = np.zeros(_MATCH_BYTES // 8)
+
+    checksum = 0.0
+    coll_acc = 0.0
+    coll_rate = 1.38 * (8.0 / size) ** _COLLECTIVE_RATE_EXP
+
+    for r in range(rounds):
+        # halo exchange with d neighbours (graph adjacency abstracted as a
+        # symmetric ring neighbourhood so every isend has a matching irecv)
+        recvs = [
+            p.world.irecv(source=(rank - i - 1) % size, tag=10 + i) for i in range(d)
+        ]
+        sends = [
+            p.world.isend(halo, dest=(rank + i + 1) % size, tag=10 + i)
+            for i in range(d)
+        ]
+        # a third of the receives waited individually (refinement consumes
+        # them eagerly), the rest plus all sends in one Waitall
+        singles = d // 3
+        for req in recvs[:singles]:
+            p.wait(req)
+        p.waitall(recvs[singles:] + sends)
+
+        # heavy-edge matching: a pairwise exchange with an alternating
+        # partner on alternating rounds (sendrecv = isend+irecv+wait+wait)
+        partner = rank ^ 1
+        if partner < size and r % 2 == 0:
+            p.world.sendrecv(
+                match_payload, dest=partner, source=partner, sendtag=77, recvtag=77
+            )
+
+        # global edge-cut reduction, at a rate that shrinks with scale
+        coll_acc += coll_rate
+        while coll_acc >= 1.0:
+            coll_acc -= 1.0
+            checksum = work_comm.allreduce(float(rank + r), op=SUM)
+
+        p.compute(4.0e-6)  # local matching/contraction work
+
+    p.world.barrier()
+    return checksum

@@ -1,0 +1,74 @@
+"""Distributed samplesort — the probe/get_count idiom, verified.
+
+Classic parallel sort: sample local data, agree on splitters, route each
+element to its bucket owner, sort locally.  Bucket sizes are *not known
+in advance*, so receivers use the canonical MPI idiom this workload
+exists to exercise:
+
+    probe(ANY_SOURCE) -> Status.get_count() -> recv(status.source)
+
+— a wildcard **probe** deciding who to receive from next (the probe
+non-determinism of paper [7], handled by DAMPI's probe epochs).  The
+sorted result is compared against ``sorted()`` of the same input, and a
+DAMPI run must find the output invariant under every probe order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.request import Status
+
+_TAG_DATA = 70
+
+
+def make_input(n: int, seed: int = 17) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10_000, size=n)
+
+
+def samplesort_program(p, n: int = 64, seed: int = 17):
+    """Sort ``n`` integers across the job; returns this rank's sorted
+    bucket.  Concatenating buckets in rank order yields the global sort.
+    """
+    size, rank = p.size, p.rank
+    full = make_input(n, seed)
+    lo = rank * n // size
+    hi = (rank + 1) * n // size
+    local = np.sort(full[lo:hi])
+
+    # regular sampling -> allgather -> shared splitters
+    step = max(1, len(local) // size)
+    samples = local[::step][: size - 1] if len(local) else np.array([], dtype=int)
+    all_samples = np.sort(np.concatenate(p.world.allgather(samples)))
+    if len(all_samples) >= size - 1 and size > 1:
+        idx = np.linspace(0, len(all_samples) - 1, size + 1).astype(int)[1:-1]
+        splitters = all_samples[idx]
+    else:
+        splitters = all_samples[: size - 1]
+
+    # route elements to bucket owners
+    buckets = np.searchsorted(splitters, local, side="right")
+    for dest in range(size):
+        payload = local[buckets == dest]
+        p.world.send(payload, dest=dest, tag=_TAG_DATA)
+
+    # receive one bucket from every rank, in whatever order probes find
+    # them — the wildcard-probe idiom under test
+    pieces = []
+    for _ in range(size):
+        st = p.world.probe(source=ANY_SOURCE, tag=_TAG_DATA)
+        assert st.get_count() >= 0  # size learned before the receive
+        piece = p.world.recv(source=st.source, tag=_TAG_DATA)
+        pieces.append(np.asarray(piece))
+    mine = np.sort(np.concatenate(pieces)) if pieces else np.array([], dtype=int)
+    return mine
+
+
+def sort_gathered(p, **kwargs) -> "np.ndarray | None":
+    mine = samplesort_program(p, **kwargs)
+    pieces = p.world.gather(mine, root=0)
+    if p.world.rank == 0:
+        return np.concatenate(pieces)
+    return None

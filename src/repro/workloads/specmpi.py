@@ -1,0 +1,136 @@
+"""SpecMPI2007 communication skeletons (Table II).
+
+Same methodology as :mod:`repro.workloads.nas`: each skeleton reproduces
+the code's communication structure, wildcard density, and comm/compute
+balance so DAMPI's overhead and leak findings land where Table II puts
+them:
+
+=============  ==================================================  ======
+code           structure                                           paper
+=============  ==================================================  ======
+104.milc       lattice QCD: gather from neighbours via wildcard    15×
+               receives every iteration — 51K wildcard receives
+               at 1K procs (≈50 per rank); tiny per-message
+               compute; dup'd communicator never freed (C-Leak)
+107.leslie3d   LES flow: 6-partner halo, large payloads, heavy     1.14×
+               compute
+113.GemsFDTD   FDTD: halo exchange + field collectives; dup'd      1.13×
+               communicator never freed (C-Leak)
+126.lammps     molecular dynamics: many small force-exchange       1.88×
+               messages per step, light compute
+130.socorro    DFT: reduction-heavy (allreduce per step) with      1.25×
+               medium halos
+137.lu         SSOR pipeline variant: wildcard receives on the     1.04×
+               first sweep only (732 total at 1K procs — ranks
+               past the first 732 use deterministic receives);
+               coarse-grained compute; C-Leak planted
+=============  ==================================================  ======
+"""
+
+from __future__ import annotations
+
+from repro.mpi.constants import ANY_SOURCE, SUM
+from repro.workloads.stencils import grid_partners, halo_exchange, payload_of, ring_partners
+
+
+def milc_program(p, iters: int = 50):
+    """104.milc: wildcard-gather per iteration, communication-bound.
+
+    Each rank posts one ``MPI_ANY_SOURCE`` receive per iteration for the
+    neighbour whose site data arrives first — 50 wildcard receives per
+    rank ⇒ the paper's R* = 51K at 1024 processes.
+    """
+    lattice_comm = p.world.dup()  # never freed: milc's Table II C-Leak
+    left = (p.rank - 1) % p.size
+    right = (p.rank + 1) % p.size
+    links = payload_of(96)
+    for _ in range(iters):
+        req = p.world.irecv(source=ANY_SOURCE, tag=60)
+        p.world.send(links, dest=right, tag=60)
+        req.wait()
+        p.compute(0.2e-6)  # per-site su3 multiply is tiny
+    lattice_comm.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+def leslie3d_program(p, iters: int = 10):
+    """107.leslie3d: large halos + heavy per-cell compute."""
+    partners = ring_partners(p.rank, p.size, 6)
+    face = payload_of(12288)
+    for _ in range(iters):
+        halo_exchange(p, partners, face, tag=61)
+        p.compute(90.0e-6)
+    p.world.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+def gemsfdtd_program(p, iters: int = 10):
+    """113.GemsFDTD: E/H-field halo updates + norm collectives (C-Leak)."""
+    field_comm = p.world.dup()  # never freed: GemsFDTD's Table II C-Leak
+    partners = grid_partners(p.rank, p.size)
+    face = payload_of(8192)
+    for _ in range(iters):
+        halo_exchange(p, partners, face, tag=62)  # E update
+        p.compute(60.0e-6)
+        halo_exchange(p, partners, face, tag=63)  # H update
+        p.compute(60.0e-6)
+        field_comm.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+def lammps_program(p, steps: int = 15):
+    """126.lammps: many small per-step exchanges, light compute."""
+    partners = ring_partners(p.rank, p.size, 4)
+    ghost = payload_of(128)
+    for _ in range(steps):
+        for _exchange in range(4):  # positions, forces, ghosts x2
+            halo_exchange(p, partners, ghost, tag=64)
+        p.compute(3.0e-6)
+        p.world.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+def socorro_program(p, steps: int = 12):
+    """130.socorro: reduction-dominated DFT iterations."""
+    partners = grid_partners(p.rank, p.size)
+    wave = payload_of(16384)
+    for _ in range(steps):
+        halo_exchange(p, partners, wave, tag=65)
+        p.compute(25.0e-6)
+        for _dot in range(3):
+            p.world.allreduce(1.0, op=SUM)
+        p.compute(12.0e-6)
+    p.world.barrier()
+
+
+def spec_lu_program(p, sweeps: int = 6, wildcard_budget: int = 732):
+    """137.lu: coarse-grained SSOR pipeline; only the first
+    ``wildcard_budget`` ranks use a wildcard head-of-pipeline receive
+    (⇒ R* = 732 at 1024 processes, matching Table II); C-Leak planted."""
+    pipe_comm = p.world.dup()  # never freed: 137.lu's Table II C-Leak
+    rank, size = p.rank, p.size
+    up, down = rank - 1, rank + 1
+    block = payload_of(8192)
+    for s in range(sweeps):
+        if up >= 0:
+            if s == 0 and rank < wildcard_budget:
+                p.world.recv(source=ANY_SOURCE, tag=66)
+            else:
+                p.world.recv(source=up, tag=66)
+            p.compute(140.0e-6)
+        if down < size:
+            p.world.send(block, dest=down, tag=66)
+        p.compute(60.0e-6)
+    pipe_comm.allreduce(1.0, op=SUM)
+    p.world.barrier()
+
+
+#: name -> (program, default kwargs) — the Table II SpecMPI rows
+SPEC_PROGRAMS = {
+    "104.milc": (milc_program, {}),
+    "107.leslie3d": (leslie3d_program, {}),
+    "113.GemsFDTD": (gemsfdtd_program, {}),
+    "126.lammps": (lammps_program, {}),
+    "130.socorro": (socorro_program, {}),
+    "137.lu": (spec_lu_program, {}),
+}

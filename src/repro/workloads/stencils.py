@@ -1,0 +1,45 @@
+"""Shared communication building blocks for the benchmark skeletons."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def halo_exchange(p, partners: list[int], payload, tag: int = 5) -> None:
+    """Non-blocking exchange with a symmetric partner list: post all
+    receives, send to all partners, complete with one Waitall."""
+    recvs = [p.world.irecv(source=src, tag=tag) for src in partners]
+    sends = [p.world.isend(payload, dest=dst, tag=tag) for dst in partners]
+    p.waitall(recvs + sends)
+
+
+def ring_partners(rank: int, size: int, degree: int) -> list[int]:
+    """``degree`` nearest ring neighbours, symmetric (i ±1, ±2, ...)."""
+    out = []
+    for i in range(1, degree // 2 + 1):
+        out.append((rank + i) % size)
+        out.append((rank - i) % size)
+    return [x for x in dict.fromkeys(out) if x != rank]
+
+
+def grid_partners(rank: int, size: int) -> list[int]:
+    """Neighbours on the squarest 2-D factorisation of ``size`` (no wrap
+    in the row dimension mimics physical boundaries)."""
+    rows = int(np.sqrt(size))
+    while size % rows:
+        rows -= 1
+    cols = size // rows
+    r, c = divmod(rank, cols)
+    out = []
+    if r > 0:
+        out.append(rank - cols)
+    if r < rows - 1:
+        out.append(rank + cols)
+    out.append(r * cols + (c - 1) % cols)
+    out.append(r * cols + (c + 1) % cols)
+    return [x for x in dict.fromkeys(out) if x != rank]
+
+
+def payload_of(nbytes: int) -> np.ndarray:
+    """A zero array of roughly ``nbytes`` wire size."""
+    return np.zeros(max(1, nbytes // 8))

@@ -1,0 +1,1 @@
+"""The test suite (importable as a package so `from tests.conftest import ...` works under any pytest invocation)."""

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.runtime import run_program
+
+
+def run_ok(program, nprocs, **kw):
+    """Run a program and assert it completed with no errors."""
+    result = run_program(program, nprocs, **kw)
+    result.raise_any()
+    return result
+
+
+@pytest.fixture(params=["run_to_block", "rr", "free"])
+def sched_mode(request):
+    """All three engine scheduling modes (for semantics-invariance tests)."""
+    return request.param

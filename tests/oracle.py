@@ -1,0 +1,161 @@
+"""An independent feasibility oracle for wildcard match outcomes.
+
+DAMPI's correctness claim is about *coverage*: the set of wildcard match
+outcomes it explores should equal the set of outcomes feasible under MPI
+semantics.  The verifier itself computes that set with Lamport/vector
+clocks and replay — so testing it against itself proves nothing.  This
+module computes the ground truth by an entirely different mechanism: an
+exhaustive state-space search over an abstract operational semantics of a
+restricted program family.
+
+Program family (one op list per rank):
+
+* ``("send", dest, tag)``     — eager send (never blocks)
+* ``("recv", src, tag)``      — deterministic receive (blocks)
+* ``("wild", tag)``           — wildcard receive (blocks; branch point)
+
+Abstract semantics: an eager send becomes *in flight* the moment its
+rank's program counter passes it.  A receive may fire iff the earliest
+in-flight compatible message per its selector exists (non-overtaking: per
+(source, tag) stream, only the oldest unconsumed message is matchable).
+The search explores every interleaving of rank steps and every wildcard
+branch, collecting the terminal assignments ``wildcard occurrence ->
+matched source`` plus whether that branch deadlocks.
+
+Complexity is exponential — keep programs tiny (the differential test
+does).
+"""
+
+from __future__ import annotations
+
+#: op constructors for readability in tests
+def send(dest: int, tag: int = 0):
+    return ("send", dest, tag)
+
+
+def recv(src: int, tag: int = 0):
+    return ("recv", src, tag)
+
+
+def wild(tag: int = 0):
+    return ("wild", tag)
+
+
+def feasible_outcomes(programs: list[list[tuple]]) -> tuple[set, bool]:
+    """All feasible wildcard assignments plus a any-deadlock flag.
+
+    Returns ``(outcomes, has_deadlock)`` where each outcome is a frozenset
+    of ``((rank, wildcard_ordinal), matched_source)`` for *completed*
+    wildcard receives along a maximal execution, and ``has_deadlock`` is
+    True iff some branch gets stuck before every rank finishes.
+    """
+    nprocs = len(programs)
+    outcomes: set = set()
+    deadlocks = [False]
+    seen_states: set = set()
+
+    def matchable(in_flight, dst, want_src, tag):
+        """Earliest in-flight message per source satisfying the selector,
+        honouring per-(src, dst, tag) stream order."""
+        out = []
+        for s in range(nprocs):
+            if want_src is not None and s != want_src:
+                continue
+            # the oldest in-flight seq from s to dst with this tag
+            cands = [m for m in in_flight if m[0] == s and m[1] == dst and m[2] == tag]
+            if cands:
+                out.append(min(cands, key=lambda m: m[3]))
+        return out
+
+    def step(pcs, in_flight, sent_counts, assignment):
+        key = (pcs, in_flight, assignment)
+        if key in seen_states:
+            return
+        seen_states.add(key)
+
+        progressed = False
+        for rank, pc in enumerate(pcs):
+            prog = programs[rank]
+            if pc >= len(prog):
+                continue
+            op = prog[pc]
+            if op[0] == "send":
+                _, dest, tag = op
+                seq = sent_counts.get((rank, dest, tag), 0)
+                new_sent = dict(sent_counts)
+                new_sent[(rank, dest, tag)] = seq + 1
+                new_pcs = pcs[:rank] + (pc + 1,) + pcs[rank + 1 :]
+                step(
+                    new_pcs,
+                    in_flight | {(rank, dest, tag, seq)},
+                    new_sent,
+                    assignment,
+                )
+                progressed = True
+            elif op[0] == "recv":
+                _, src, tag = op
+                hits = matchable(in_flight, rank, src, tag)
+                if hits:
+                    (m,) = hits
+                    new_pcs = pcs[:rank] + (pc + 1,) + pcs[rank + 1 :]
+                    step(new_pcs, in_flight - {m}, sent_counts, assignment)
+                    progressed = True
+            elif op[0] == "wild":
+                _, tag = op
+                ordinal = sum(
+                    1 for prior in prog[:pc] if prior[0] == "wild"
+                )
+                for m in matchable(in_flight, rank, None, tag):
+                    new_pcs = pcs[:rank] + (pc + 1,) + pcs[rank + 1 :]
+                    new_assignment = assignment | {((rank, ordinal), m[0])}
+                    step(new_pcs, in_flight - {m}, sent_counts, new_assignment)
+                    progressed = True
+
+        if not progressed:
+            if all(pc >= len(programs[r]) for r, pc in enumerate(pcs)):
+                outcomes.add(frozenset(assignment))
+            else:
+                deadlocks[0] = True
+                # partial outcomes of deadlocked branches are still feasible
+                # knowledge, but DAMPI reports them as deadlock runs; we
+                # collect them separately via the flag only.
+
+    step(tuple(0 for _ in programs), frozenset(), {}, frozenset())
+    return outcomes, deadlocks[0]
+
+
+def as_runnable(programs: list[list[tuple]]):
+    """Compile an op-list program into a runnable simulator program."""
+    from repro.mpi.constants import ANY_SOURCE
+
+    def runner(p):
+        for op in programs[p.rank]:
+            if op[0] == "send":
+                p.world.send(f"{p.rank}", dest=op[1], tag=op[2])
+            elif op[0] == "recv":
+                p.world.recv(source=op[1], tag=op[2])
+            elif op[0] == "wild":
+                p.world.recv(source=ANY_SOURCE, tag=op[1])
+
+    return runner
+
+
+def dampi_outcomes(report) -> set:
+    """DAMPI's explored wildcard assignments, shaped like the oracle's.
+
+    Epochs are mapped to (rank, per-rank wildcard ordinal) via the epoch
+    index (wildcards only, in program order).
+    """
+    out = set()
+    for run in report.runs:
+        if "deadlock" in run.error_kinds:
+            continue  # compare completed executions only
+        per_rank_sorted = {}
+        for (key, src) in run.outcome:
+            per_rank_sorted.setdefault(key[0], []).append((key[1], src))
+        assignment = set()
+        for rank, items in per_rank_sorted.items():
+            for ordinal, (_lc, src) in enumerate(sorted(items)):
+                assignment.add(((rank, ordinal), src))
+        out.add(frozenset(assignment))
+    return out

@@ -1,0 +1,268 @@
+"""The ADLB work-sharing library: semantics, stealing, termination."""
+
+import pytest
+
+from repro.adlb import AdlbContext, adlb_run, batch_app, tree_app
+from repro.adlb.apps import priority_app
+from repro.adlb.library import DRAIN_TYPE
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier
+from repro.mpi.runtime import run_program
+
+from tests.conftest import run_ok
+
+
+def total_processed(result):
+    vals = [v for v in result.returns.values() if v is not None]
+    if vals and isinstance(vals[0], tuple):
+        return sum(v[0] for v in vals)
+    return sum(vals)
+
+
+class TestBasics:
+    def test_single_server_conserves_work(self):
+        def job(p):
+            return adlb_run(p, batch_app, num_servers=1, units_per_worker=3)
+
+        res = run_ok(job, 4)
+        assert total_processed(res) == 9  # 3 workers x 3 units
+
+    def test_multi_server_conserves_work(self):
+        def job(p):
+            return adlb_run(p, batch_app, num_servers=2, units_per_worker=2)
+
+        res = run_ok(job, 7)  # 2 servers + 5 workers
+        assert total_processed(res) == 10
+
+    def test_checksum_is_interleaving_invariant(self):
+        """Total checksum depends only on the work set, not the schedule."""
+
+        def job(p):
+            return adlb_run(p, batch_app, num_servers=1, units_per_worker=2)
+
+        a = run_ok(job, 4, policy="lowest_rank")
+        b = run_ok(job, 4, policy="highest_rank")
+        csum = lambda res: sum(v[1] for v in res.returns.values() if v)
+        assert csum(a) == csum(b)
+
+    def test_tree_app_generates_recursively(self):
+        def job(p):
+            return adlb_run(p, tree_app, num_servers=1, depth=3, branch=3)
+
+        res = run_ok(job, 5)
+        assert total_processed(res) == (3**4 - 1) // 2  # 1+3+9+27
+
+    def test_stealing_spreads_root_only_work(self):
+        """Only one worker seeds work; with two servers the other server's
+        workers can only eat via steals."""
+
+        def job(p):
+            ctx = AdlbContext(p, num_servers=2)
+            if ctx.is_server:
+                ctx.serve()
+                p.world.barrier()
+                return None
+            out = tree_app(ctx, depth=4, branch=2)
+            ctx.finish()
+            p.world.barrier()
+            return out
+
+        res = run_ok(job, 6)
+        assert total_processed(res) == 31
+        # workers homed at server 1 (ranks 3, 5) must have eaten something
+        server1_work = sum(res.returns[r] for r in (3, 5))
+        assert server1_work > 0
+
+    def test_priorities_served_first(self):
+        def job(p):
+            return adlb_run(p, priority_app, num_servers=1, units=6)
+
+        res = run_ok(job, 2)  # 1 server, 1 worker: strict priority order
+        served = res.returns[1]
+        assert len(served) == 6
+
+
+class TestTargetedPuts:
+    def test_targeted_unit_reaches_only_its_target(self):
+        def job(p):
+            ctx = AdlbContext(p, num_servers=1)
+            if ctx.is_server:
+                ctx.serve()
+                p.world.barrier()
+                return None
+            if ctx.rank == 1:
+                # pin one unit to worker 3, leave one open
+                ctx.put("pinned", target=3)
+                ctx.put("open")
+            got = []
+            while True:
+                item = ctx.get()
+                if item is None:
+                    break
+                got.append(item)
+            ctx.finish()
+            p.world.barrier()
+            return got
+
+        res = run_ok(job, 4)
+        assert "pinned" in res.returns[3]
+        assert "pinned" not in (res.returns[1] or []) and "pinned" not in (
+            res.returns[2] or []
+        )
+
+    def test_targeted_not_stolen_across_servers(self):
+        def job(p):
+            ctx = AdlbContext(p, num_servers=2)
+            if ctx.is_server:
+                ctx.serve()
+                p.world.barrier()
+                return None
+            if ctx.rank == 2:
+                # target a worker homed at the *other* server; their home
+                # must hold it despite the poster's home being different
+                for _ in range(4):
+                    ctx.put("for-3", target=3)
+            got = []
+            while True:
+                item = ctx.get()
+                if item is None:
+                    break
+                got.append(item)
+            ctx.finish()
+            p.world.barrier()
+            return got
+
+        res = run_ok(job, 6)
+        assert res.returns[3].count("for-3") == 4
+        for other in (2, 4, 5):
+            assert not res.returns[other]
+
+    def test_invalid_target_rejected(self):
+        def job(p):
+            ctx = AdlbContext(p, num_servers=1)
+            if ctx.is_server:
+                ctx.serve()
+            else:
+                try:
+                    ctx.put("x", target=0)  # a server, not a worker
+                finally:
+                    ctx.finish()
+
+        res = run_program(job, 2)
+        assert any(isinstance(e, ValueError) for e in res.primary_errors.values())
+
+    def test_targeted_priority_beats_open_lower_priority(self):
+        def job(p):
+            ctx = AdlbContext(p, num_servers=1)
+            if ctx.is_server:
+                ctx.serve()
+                p.world.barrier()
+                return None
+            if ctx.rank == 1:
+                ctx.put("low-open", priority=0)
+                ctx.put("high-mine", priority=5, target=1)
+                first = ctx.get()
+                second = ctx.get()
+                ctx.finish()
+                p.world.barrier()
+                return (first, second)
+            ctx.finish()
+            p.world.barrier()
+            return None
+
+        res = run_ok(job, 2)
+        assert res.returns[1] == ("high-mine", "low-open")
+
+
+class TestApiErrors:
+    def test_server_cannot_put(self):
+        def job(p):
+            ctx = AdlbContext(p, num_servers=1)
+            if ctx.is_server:
+                ctx.put("x")
+
+        res = run_program(job, 2)
+        assert any(
+            isinstance(e, RuntimeError) for e in res.primary_errors.values()
+        )
+
+    def test_worker_cannot_serve(self):
+        ctx_err = {}
+
+        def job(p):
+            ctx = AdlbContext(p, num_servers=1)
+            if not ctx.is_server:
+                try:
+                    ctx.serve()
+                except RuntimeError as e:
+                    ctx_err["e"] = e
+                ctx.finish()
+            else:
+                ctx.serve()
+
+        run_ok(job, 2)
+        assert "e" in ctx_err
+
+    def test_reserved_type_rejected(self):
+        def job(p):
+            ctx = AdlbContext(p, num_servers=1)
+            if ctx.is_server:
+                ctx.serve()
+            else:
+                try:
+                    ctx.put("x", work_type=DRAIN_TYPE)
+                finally:
+                    ctx.finish()
+
+        res = run_program(job, 2)
+        assert any(isinstance(e, ValueError) for e in res.primary_errors.values())
+
+    def test_bad_server_count(self):
+        def job(p):
+            AdlbContext(p, num_servers=p.size)
+
+        res = run_program(job, 2)
+        assert any(isinstance(e, ValueError) for e in res.primary_errors.values())
+
+    def test_get_after_termination_returns_none(self):
+        def job(p):
+            ctx = AdlbContext(p, num_servers=1)
+            if ctx.is_server:
+                ctx.serve()
+            else:
+                assert ctx.get() is None  # no work was ever put
+                assert ctx.get() is None  # idempotent after NO_WORK
+            p.world.barrier()
+
+        run_ok(job, 3)
+
+
+class TestUnderVerification:
+    def test_work_conservation_under_all_interleavings(self):
+        """DAMPI forces alternate server match orders; the processed-unit
+        invariant must hold in every single one."""
+
+        def job(p):
+            out = adlb_run(p, batch_app, num_servers=1, units_per_worker=1)
+            if out is not None:
+                # per-run invariant is checked globally below via returns;
+                # here just sanity-type it
+                assert isinstance(out, tuple)
+            return out
+
+        cfg = DampiConfig(max_interleavings=40, enable_monitor=False)
+        rep = DampiVerifier(job, 4, cfg).verify()
+        assert not rep.errors, rep.summary()
+        assert rep.interleavings > 1  # server wildcards created real choice
+
+    def test_bounded_mixing_counts_monotone(self):
+        def job(p):
+            return adlb_run(p, batch_app, num_servers=1, units_per_worker=2)
+
+        counts = []
+        for k in (0, 1):
+            cfg = DampiConfig(bound_k=k, max_interleavings=300, enable_monitor=False)
+            rep = DampiVerifier(job, 4, cfg).verify()
+            counts.append(rep.interleavings)
+            assert not rep.errors
+        assert counts[0] <= counts[1]

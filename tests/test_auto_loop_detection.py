@@ -1,0 +1,75 @@
+"""Automatic loop-iteration abstraction (paper §VI future work)."""
+
+import pytest
+
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier
+from repro.mpi.constants import ANY_SOURCE
+from repro.workloads.matmult import matmult_program
+from repro.workloads.patterns import wildcard_lattice
+
+
+class TestAutoLoopDetection:
+    def test_uniform_loop_collapses_past_threshold(self):
+        """6 identical wildcard receives in a loop: threshold 2 keeps the
+        first two explorable and freezes the rest."""
+        kwargs = {"receives": 6, "senders": 2}
+        full = DampiVerifier(wildcard_lattice, 3, kwargs=kwargs).verify()
+        assert full.interleavings == 2**6
+
+        cfg = DampiConfig(auto_loop_threshold=2)
+        capped = DampiVerifier(wildcard_lattice, 3, cfg, kwargs=kwargs).verify()
+        assert capped.interleavings == 2**2  # only the first two epochs vary
+
+    def test_threshold_one_keeps_one_per_signature_run(self):
+        cfg = DampiConfig(auto_loop_threshold=1)
+        rep = DampiVerifier(
+            wildcard_lattice, 3, cfg, kwargs={"receives": 4, "senders": 2}
+        ).verify()
+        assert rep.interleavings == 2
+
+    def test_signature_change_resets_the_run(self):
+        """Alternating tags never form a detectable run: nothing frozen."""
+
+        def prog(p):
+            if p.rank == 0:
+                for i in range(4):
+                    p.world.recv(source=ANY_SOURCE, tag=i % 2)
+            else:
+                for i in range(4):
+                    p.world.send(p.rank, dest=0, tag=i % 2)
+
+        cfg = DampiConfig(auto_loop_threshold=1)
+        rep = DampiVerifier(prog, 3, cfg).verify()
+        full = DampiVerifier(prog, 3).verify()
+        assert rep.interleavings == full.interleavings
+
+    def test_matmult_farm_loop_detected(self):
+        """The master's receive loop is a uniform signature: the heuristic
+        matches what an MPI_Pcontrol annotation achieves, unprompted."""
+        kwargs = {"n": 8, "blocks_per_slave": 2}
+        full = DampiVerifier(matmult_program, 4, kwargs=kwargs).verify()
+        cfg = DampiConfig(auto_loop_threshold=1)
+        auto = DampiVerifier(matmult_program, 4, cfg, kwargs=kwargs).verify()
+        assert auto.interleavings < full.interleavings
+        assert auto.ok
+
+    def test_disabled_by_default(self):
+        assert DampiConfig().auto_loop_threshold is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DampiConfig(auto_loop_threshold=0)
+
+    def test_coverage_still_sound_for_explored_prefix(self):
+        """Frozen epochs keep their self-run match; explored epochs still
+        cover all their alternatives."""
+        cfg = DampiConfig(auto_loop_threshold=2)
+        rep = DampiVerifier(
+            wildcard_lattice, 3, cfg, kwargs={"receives": 3, "senders": 2}
+        ).verify()
+        prefixes = set()
+        for run in rep.runs:
+            pairs = sorted((k, s) for (k, s) in run.outcome)
+            prefixes.add(tuple(s for _, s in pairs[:2]))
+        assert prefixes == {(1, 1), (1, 2), (2, 1), (2, 2)}

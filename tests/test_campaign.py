@@ -1,0 +1,92 @@
+"""Escalating verification and campaign sweeps."""
+
+import pytest
+
+from repro.dampi.campaign import (
+    CampaignResult,
+    EscalationResult,
+    escalating_verify,
+    run_campaign,
+)
+from repro.dampi.config import DampiConfig
+from repro.workloads.patterns import fig3_program, wildcard_lattice
+
+
+class TestEscalation:
+    def test_stops_at_first_error(self):
+        result = escalating_verify(fig3_program, 3)
+        assert "error found at k=0" in result.stopped_reason
+        assert len(result.steps) == 1
+        assert any(e.kind == "crash" for e in result.errors)
+
+    def test_clean_program_escalates_to_full_coverage(self):
+        result = escalating_verify(
+            wildcard_lattice, 4, kwargs={"receives": 3, "senders": 3}
+        )
+        assert result.stopped_reason == "full space covered"
+        labels = [s.label for s in result.steps]
+        assert labels == ["k=0", "k=1", "k=2", "unbounded"]
+        assert result.final_report.interleavings == 27
+        assert not result.final_report.truncated
+
+    def test_budget_exhaustion(self):
+        result = escalating_verify(
+            wildcard_lattice,
+            4,
+            kwargs={"receives": 3, "senders": 3},
+            run_budget=10,
+        )
+        # each stage is capped at the remaining budget, so the total can
+        # never exceed budget + (number of stages) self-run minimums
+        assert result.total_interleavings <= 10 + len(result.steps)
+        assert result.stopped_reason == "run budget exhausted"
+
+    def test_monotone_stage_counts(self):
+        result = escalating_verify(
+            wildcard_lattice,
+            4,
+            kwargs={"receives": 3, "senders": 3},
+            stop_on_error=False,
+        )
+        counts = [s.report.interleavings for s in result.steps]
+        assert counts == sorted(counts)
+
+    def test_summary_renders(self):
+        result = escalating_verify(fig3_program, 3)
+        text = result.summary()
+        assert "escalating verification" in text
+        assert "errors!" in text
+
+    def test_errors_deduplicated_across_stages(self):
+        result = escalating_verify(fig3_program, 3, stop_on_error=False)
+        kinds = [e.detail for e in result.errors]
+        assert len(kinds) == len(set(kinds))
+
+
+class TestCampaign:
+    def test_grid_of_cells(self):
+        result = run_campaign(
+            wildcard_lattice, [3, 4], kwargs={"receives": 2, "senders": 2}
+        )
+        assert len(result.cells) == 4  # 2 nprocs x 2 default configs
+        assert result.ok
+
+    def test_custom_configs(self):
+        configs = {"lamport": DampiConfig(), "vector": DampiConfig(clock_impl="vector")}
+        result = run_campaign(
+            wildcard_lattice, [3], configs, kwargs={"receives": 2, "senders": 2}
+        )
+        assert {c.config_name for c in result.cells} == {"lamport", "vector"}
+
+    def test_errors_labelled_with_cell(self):
+        result = run_campaign(fig3_program, [3])
+        assert not result.ok
+        labels = [label for label, _ in result.errors]
+        assert any("np=3" in l for l in labels)
+
+    def test_summary_table(self):
+        result = run_campaign(
+            wildcard_lattice, [3], kwargs={"receives": 2, "senders": 2}
+        )
+        text = result.summary()
+        assert "nprocs" in text and "quick-k0" in text

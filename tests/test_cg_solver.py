@@ -1,0 +1,71 @@
+"""Distributed CG: numerics, convergence, partition-shape invariance."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.cg_solver import (
+    cg_program,
+    make_spd_system,
+    serial_cg,
+    solve_gathered,
+)
+
+from tests.conftest import run_ok
+
+
+class TestSystem:
+    def test_matrix_is_spd(self):
+        a, _ = make_spd_system(24)
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_deterministic(self):
+        a1, r1 = make_spd_system(16, seed=9)
+        a2, r2 = make_spd_system(16, seed=9)
+        assert np.array_equal(a1, a2) and np.array_equal(r1, r2)
+
+
+class TestSerialReference:
+    def test_converges_to_direct_solve(self):
+        a, rhs = make_spd_system(20)
+        x = serial_cg(a, rhs, iters=60)
+        assert np.allclose(x, np.linalg.solve(a, rhs), atol=1e-8)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 7])
+    def test_matches_serial_recurrence(self, nprocs):
+        n, iters = 28, 10
+        res = run_ok(lambda p: solve_gathered(p, n=n, iters=iters), nprocs)
+        expected = serial_cg(*make_spd_system(n), iters=iters)
+        # identical recurrence, reduction order differs: tight tolerance
+        assert np.allclose(res.returns[0], expected, atol=1e-9)
+
+    def test_converges_to_direct_solve(self):
+        n = 24
+        res = run_ok(lambda p: solve_gathered(p, n=n, iters=80), 4)
+        a, rhs = make_spd_system(n)
+        assert np.allclose(res.returns[0], np.linalg.solve(a, rhs), atol=1e-7)
+
+    def test_uneven_row_partition(self):
+        # 29 rows over 6 ranks
+        res = run_ok(lambda p: solve_gathered(p, n=29, iters=12), 6)
+        expected = serial_cg(*make_spd_system(29), iters=12)
+        assert np.allclose(res.returns[0], expected, atol=1e-9)
+
+    def test_result_independent_of_nprocs(self):
+        n, iters = 26, 15
+        sols = []
+        for nprocs in (2, 5):
+            res = run_ok(lambda p: solve_gathered(p, n=n, iters=iters), nprocs)
+            sols.append(res.returns[0])
+        assert np.allclose(sols[0], sols[1], atol=1e-9)
+
+    def test_residual_decreases(self):
+        n = 24
+        a, rhs = make_spd_system(n)
+        norms = []
+        for iters in (2, 8, 30):
+            res = run_ok(lambda p: solve_gathered(p, n=n, iters=iters), 3)
+            norms.append(float(np.linalg.norm(rhs - a @ res.returns[0])))
+        assert norms[0] > norms[1] > norms[2]

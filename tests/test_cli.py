@@ -1,0 +1,176 @@
+"""The `python -m repro` command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import main, resolve_program
+
+
+class TestResolveProgram:
+    def test_resolves(self):
+        fn = resolve_program("repro.workloads.patterns:fig3_program")
+        from repro.workloads.patterns import fig3_program
+
+        assert fn is fig3_program
+
+    def test_missing_colon(self):
+        with pytest.raises(SystemExit):
+            resolve_program("repro.workloads.patterns")
+
+    def test_bad_module(self):
+        with pytest.raises(SystemExit):
+            resolve_program("no.such.module:fn")
+
+    def test_bad_attr(self):
+        with pytest.raises(SystemExit):
+            resolve_program("repro.workloads.patterns:nope")
+
+    def test_not_callable(self):
+        with pytest.raises(SystemExit):
+            resolve_program("repro.workloads.patterns:ANY_SOURCE")
+
+
+class TestVerifyCommand:
+    def test_finds_fig3_and_exits_nonzero(self, capsys):
+        rc = main(
+            ["verify", "repro.workloads.patterns:fig3_program", "--nprocs", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "WildcardBugError" in out
+        assert "interleavings explored : 2" in out
+
+    def test_clean_program_exits_zero(self, capsys):
+        rc = main(
+            [
+                "verify",
+                "repro.workloads.patterns:wildcard_lattice",
+                "--nprocs",
+                "3",
+                "--kwargs",
+                json.dumps({"receives": 2, "senders": 2}),
+            ]
+        )
+        assert rc == 0
+        assert "no errors found" in capsys.readouterr().out
+
+    def test_bound_k_and_budget_flags(self, capsys):
+        rc = main(
+            [
+                "verify",
+                "repro.workloads.patterns:wildcard_lattice",
+                "--nprocs",
+                "4",
+                "--kwargs",
+                json.dumps({"receives": 3, "senders": 3}),
+                "--bound-k",
+                "0",
+            ]
+        )
+        assert rc == 0
+        assert "interleavings explored : 7" in capsys.readouterr().out
+
+    def test_witness_dir(self, tmp_path, capsys):
+        rc = main(
+            [
+                "verify",
+                "repro.workloads.patterns:fig3_program",
+                "--nprocs",
+                "3",
+                "--witness-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 1
+        witnesses = list(tmp_path.glob("error*.json"))
+        assert len(witnesses) == 1
+
+    def test_baseline_flag_runs_isp(self, capsys):
+        rc = main(
+            [
+                "verify",
+                "repro.workloads.patterns:fig3_program",
+                "--nprocs",
+                "3",
+                "--baseline",
+            ]
+        )
+        assert rc == 1
+        assert "vector clocks" in capsys.readouterr().out  # ISP forces vector
+
+    def test_monitor_alert_printed(self, capsys):
+        rc = main(
+            ["verify", "repro.workloads.patterns:fig10_program", "--nprocs", "3"]
+        )
+        assert rc == 0  # no error found (the §V omission), only an alert
+        assert "alert:" in capsys.readouterr().out
+
+    def test_dual_clock_flag(self, capsys):
+        rc = main(
+            [
+                "verify",
+                "repro.workloads.patterns:fig10_program",
+                "--nprocs",
+                "3",
+                "--clock",
+                "lamport_dual",
+            ]
+        )
+        assert rc == 1  # dual clocks expose the hidden crash
+        assert "crash" in capsys.readouterr().out
+
+
+class TestReplayCommand:
+    def test_replay_reproduces(self, tmp_path, capsys):
+        main(
+            [
+                "verify",
+                "repro.workloads.patterns:fig3_program",
+                "--nprocs",
+                "3",
+                "--witness-dir",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        witness = next(tmp_path.glob("error*.json"))
+        rc = main(
+            [
+                "replay",
+                "repro.workloads.patterns:fig3_program",
+                "--nprocs",
+                "3",
+                "--decisions",
+                str(witness),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "WildcardBugError" in out
+
+
+class TestEscalateCommand:
+    def test_escalate_finds_error_early(self, capsys):
+        rc = main(
+            ["escalate", "repro.workloads.patterns:fig3_program", "--nprocs", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error found at k=0" in out
+
+    def test_escalate_covers_clean_program(self, capsys):
+        rc = main(
+            [
+                "escalate",
+                "repro.workloads.patterns:wildcard_lattice",
+                "--nprocs",
+                "4",
+                "--kwargs",
+                json.dumps({"receives": 3, "senders": 3}),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "full space covered" in out
+        assert "unbounded" in out

@@ -1,0 +1,113 @@
+"""Derived datatypes: constructors, size/extent, pack/unpack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.datatypes import BYTE, DOUBLE, Datatype, INT
+
+
+class TestConstructors:
+    def test_contiguous(self):
+        t = INT.contiguous(5)
+        assert t.size == 20 and t.extent == 20
+        assert not t.is_derived or t.blocks == ((0, 20),)
+
+    def test_vector_has_holes(self):
+        # 3 blocks of 2 ints, stride 4 ints: |XX..XX..XX|
+        t = INT.vector(3, 2, 4)
+        assert t.size == 3 * 2 * 4
+        assert t.extent == ((3 - 1) * 4 + 2) * 4
+        assert t.size < t.extent
+
+    def test_vector_dense_when_stride_equals_blocklength(self):
+        t = DOUBLE.vector(4, 2, 2)
+        assert t.size == t.extent == 64
+        assert t.blocks == ((0, 64),)  # coalesced into one run
+
+    def test_indexed(self):
+        t = INT.indexed([2, 1], [0, 5])
+        assert t.size == 12
+        assert t.extent == 24  # (5 + 1) * 4
+
+    def test_struct(self):
+        t = Datatype.struct([(INT, 0), (DOUBLE, 8)])
+        assert t.size == 12
+        assert t.extent == 16
+
+    def test_nested_derived(self):
+        row = INT.contiguous(4)
+        grid_col = row.vector(2, 1, 2)  # two rows, skip one between
+        assert grid_col.size == 32
+        assert grid_col.extent == 3 * 16 - 16 + 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            INT.contiguous(0)
+        with pytest.raises(ValueError):
+            INT.vector(2, 3, 2)  # stride < blocklength
+        with pytest.raises(ValueError):
+            INT.indexed([1], [0, 1])
+        with pytest.raises(ValueError):
+            Datatype.struct([])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            INT.indexed([2, 2], [0, 1])
+
+
+class TestPackUnpack:
+    def test_vector_roundtrip(self):
+        t = BYTE.vector(3, 2, 4)  # |XX..XX..XX|
+        buf = np.arange(t.extent, dtype=np.uint8)
+        packed = t.pack(buf)
+        assert packed.tolist() == [0, 1, 4, 5, 8, 9]
+        out = np.zeros(t.extent, dtype=np.uint8)
+        t.unpack(packed, out)
+        assert out[[0, 1, 4, 5, 8, 9]].tolist() == [0, 1, 4, 5, 8, 9]
+        assert out[[2, 3, 6, 7]].tolist() == [0, 0, 0, 0]  # holes untouched
+
+    def test_pack_needs_full_extent(self):
+        t = BYTE.vector(2, 1, 3)
+        with pytest.raises(ValueError):
+            t.pack(np.zeros(2, dtype=np.uint8))
+
+    def test_unpack_size_checked(self):
+        t = BYTE.contiguous(4)
+        with pytest.raises(ValueError):
+            t.unpack(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    @given(
+        count=st.integers(min_value=1, max_value=5),
+        blocklength=st.integers(min_value=1, max_value=4),
+        gap=st.integers(min_value=0, max_value=3),
+    )
+    def test_pack_unpack_identity_property(self, count, blocklength, gap):
+        t = BYTE.vector(count, blocklength, blocklength + gap)
+        rng = np.random.default_rng(1)
+        buf = rng.integers(0, 255, size=t.extent, dtype=np.uint8)
+        out = np.zeros(t.extent, dtype=np.uint8)
+        t.unpack(t.pack(buf), out)
+        # significant bytes survive the roundtrip
+        assert np.array_equal(t.pack(out), t.pack(buf))
+        assert t.size == count * blocklength
+
+    def test_halo_column_extraction(self):
+        """The use case: extract a column (stride = row length) from a
+        row-major grid — MPI_Type_vector's reason to exist."""
+        rows, cols = 4, 6
+        grid = np.arange(rows * cols, dtype=np.uint8).reshape(rows, cols)
+        column_type = BYTE.vector(rows, 1, cols)
+        packed = column_type.pack(grid.reshape(-1)[2:])  # column 2
+        assert packed.tolist() == grid[:, 2].tolist()
+
+
+class TestSizeVsExtentSemantics:
+    def test_wire_size_uses_size_not_extent(self):
+        """A strided send ships only significant bytes (size), like a real
+        MPI implementation packing on the fly."""
+        from repro.mpi.datatypes import sizeof
+
+        t = BYTE.vector(10, 1, 100)
+        packed = t.pack(np.zeros(t.extent, dtype=np.uint8))
+        assert sizeof(packed) == t.size == 10

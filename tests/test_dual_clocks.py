@@ -1,0 +1,103 @@
+"""The §V dual-clock extension: uncommitted epoch ticks never transmit."""
+
+import pytest
+
+from repro.clocks.dual import DualClock
+from repro.clocks.lamport import LamportStamp
+from repro.clocks.vector import VectorStamp
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier
+from repro.workloads.patterns import (
+    fig3_program,
+    fig4_program,
+    fig10_program,
+    wildcard_lattice,
+)
+
+
+class TestDualClockUnit:
+    def test_tick_stays_local_until_commit(self):
+        c = DualClock("lamport", 0, 4)
+        c.tick()
+        assert c.time == 1  # epoch view advanced
+        assert c.snapshot().time == 0  # transmit view unchanged
+        c.commit_epoch(0)
+        assert c.snapshot().time == 1
+
+    def test_merge_reaches_both(self):
+        c = DualClock("lamport", 0, 4)
+        c.merge(LamportStamp(5))
+        assert c.time == 5 and c.snapshot().time == 5
+
+    def test_vector_commit_raises_own_component_only(self):
+        c = DualClock("vector", 1, 3)
+        c.tick()
+        c.tick()
+        assert c.snapshot().components == (0, 0, 0)
+        c.commit_epoch(0)  # commit the first epoch only
+        assert c.snapshot().components == (0, 1, 0)
+        c.commit_epoch(1)
+        assert c.snapshot().components == (0, 2, 0)
+
+    def test_epoch_snapshot_is_main_view(self):
+        c = DualClock("lamport", 0, 2)
+        c.tick()
+        assert c.epoch_snapshot().time == 1
+        assert c.snapshot().time == 0
+
+    def test_bad_impl_rejected(self):
+        with pytest.raises(ValueError):
+            DualClock("lamport_dual", 0, 2)
+
+    def test_factory(self):
+        from repro.clocks.base import make_clock
+
+        assert isinstance(make_clock("lamport_dual", 0, 2), DualClock)
+        assert isinstance(make_clock("vector_dual", 1, 4), DualClock)
+
+
+class TestFig10Closed:
+    def test_plain_lamport_misses_the_bug(self):
+        rep = DampiVerifier(fig10_program, 3, DampiConfig(clock_impl="lamport")).verify()
+        assert rep.interleavings == 1
+        assert not any(e.kind == "crash" for e in rep.errors)
+        assert rep.monitor_report.triggered  # only the alert fires
+
+    @pytest.mark.parametrize("impl", ["lamport_dual", "vector_dual"])
+    def test_dual_clocks_find_the_bug(self, impl):
+        rep = DampiVerifier(fig10_program, 3, DampiConfig(clock_impl=impl)).verify()
+        assert rep.interleavings == 2
+        assert any(e.kind == "crash" for e in rep.errors), rep.summary()
+
+
+class TestDualRegression:
+    """Dual clocks must preserve coverage everywhere else."""
+
+    def test_fig3_still_found(self):
+        rep = DampiVerifier(fig3_program, 3, DampiConfig(clock_impl="lamport_dual")).verify()
+        assert any(e.kind == "crash" for e in rep.errors)
+
+    def test_lattice_coverage_exact(self):
+        rep = DampiVerifier(
+            wildcard_lattice,
+            4,
+            DampiConfig(clock_impl="lamport_dual"),
+            kwargs={"receives": 3, "senders": 3},
+        ).verify()
+        assert rep.interleavings == 27
+        assert len(rep.outcomes) == 27
+
+    def test_vector_dual_complete_on_fig4(self):
+        rep = DampiVerifier(fig4_program, 4, DampiConfig(clock_impl="vector_dual")).verify()
+        assert rep.interleavings == 3  # as precise as plain vector
+
+    def test_lamport_dual_coverage_superset_of_lamport(self):
+        for prog, n, kw in (
+            (fig10_program, 3, {}),
+            (wildcard_lattice, 3, {"receives": 2, "senders": 2}),
+        ):
+            plain = DampiVerifier(prog, n, DampiConfig(clock_impl="lamport"), kwargs=kw).verify()
+            dual = DampiVerifier(
+                prog, n, DampiConfig(clock_impl="lamport_dual"), kwargs=kw
+            ).verify()
+            assert plain.outcomes <= dual.outcomes

@@ -1,0 +1,66 @@
+"""The 2-D heat solver: numerics across process-grid shapes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.runtime import run_program
+from repro.workloads.heat2d import (
+    _pack_column,
+    _span,
+    _unpack_column,
+    gather_solution_2d,
+    reference_solution_2d,
+)
+
+from tests.conftest import run_ok
+
+
+class TestHelpers:
+    def test_span_partitions(self):
+        spans = [_span(10, 3, i) for i in range(3)]
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+
+    def test_column_pack_roundtrip(self):
+        block = np.arange(12, dtype=np.float64).reshape(3, 4)
+        for col in range(4):
+            packed = _pack_column(block, col)
+            assert np.array_equal(_unpack_column(packed), block[:, col])
+
+    def test_column_pack_is_size_not_extent(self):
+        from repro.mpi.datatypes import sizeof
+
+        block = np.zeros((8, 100))
+        packed = _pack_column(block, 0)
+        assert sizeof(packed) == 8 * 8  # one column's bytes, not the block's
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6, 9])
+    def test_matches_reference_for_grid_shapes(self, nprocs):
+        ny, nx, steps = 18, 15, 6
+        res = run_ok(
+            lambda p: gather_solution_2d(p, ny=ny, nx=nx, steps=steps), nprocs
+        )
+        expected = reference_solution_2d(ny, nx, steps)
+        assert np.allclose(res.returns[0], expected, atol=1e-12)
+
+    def test_uneven_partition(self):
+        # 7x11 over 4 ranks: nothing divides evenly
+        res = run_ok(lambda p: gather_solution_2d(p, ny=7, nx=11, steps=3), 4)
+        expected = reference_solution_2d(7, 11, 3)
+        assert np.allclose(res.returns[0], expected, atol=1e-12)
+
+    def test_extra_ranks_excluded_cleanly(self):
+        # 5 ranks, 2x2 grid: rank 4 sits out but still gathers
+        res = run_ok(lambda p: gather_solution_2d(p, ny=8, nx=8, steps=2), 5)
+        expected = reference_solution_2d(8, 8, 2)
+        assert np.allclose(res.returns[0], expected, atol=1e-12)
+
+    def test_many_steps_stay_exact(self):
+        res = run_ok(lambda p: gather_solution_2d(p, ny=12, nx=12, steps=40), 4)
+        expected = reference_solution_2d(12, 12, 40)
+        assert np.allclose(res.returns[0], expected, atol=1e-11)
+
+    def test_energy_dissipates(self):
+        out = reference_solution_2d(16, 16, 200)
+        assert np.std(out) < np.std(reference_solution_2d(16, 16, 0))

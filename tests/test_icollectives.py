@@ -1,0 +1,158 @@
+"""Non-blocking collectives: semantics, overlap, DAMPI clock handling."""
+
+import pytest
+
+from repro.dampi.clock_module import DampiClockModule
+from repro.dampi.config import DampiConfig
+from repro.dampi.piggyback import PiggybackModule
+from repro.dampi.verifier import DampiVerifier
+from repro.mpi.constants import ANY_SOURCE, MAX, SUM
+from repro.mpi.runtime import run_program
+
+from tests.conftest import run_ok
+
+
+class TestSemantics:
+    def test_ibarrier_completes_only_when_all_entered(self):
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.ibarrier()
+                flag, _ = req.test()
+                assert not flag  # rank 1 hasn't entered
+                p.world.send("release", dest=1)
+                req.wait()
+            else:
+                p.world.recv(source=0)
+                p.world.ibarrier().wait()
+
+        run_ok(prog, 2)
+
+    def test_iallreduce_value(self):
+        def prog(p):
+            req = p.world.iallreduce(p.rank, op=MAX)
+            st = req.wait()
+            assert req.data == p.size - 1
+
+        run_ok(prog, 5)
+
+    def test_ibcast_root_completes_immediately(self):
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.ibcast("payload", root=0)
+                flag, _ = req.test()
+                assert flag  # root never waits on members
+                p.world.send("after", dest=1)
+            else:
+                assert p.world.recv(source=0) == "after"
+                req = p.world.ibcast(None, root=0)
+                req.wait()
+                assert req.data == "payload"
+
+        run_ok(prog, 2)
+
+    def test_overlap_compute_and_communication(self):
+        """The reason icollectives exist: the barrier's wait time hides
+        behind local compute."""
+
+        def prog(p):
+            req = p.world.ibarrier()
+            p.compute(1.0e-3)
+            req.wait()
+            return p.engine.clocks.now(p.rank)
+
+        res = run_ok(prog, 4)
+        assert res.makespan < 1.2e-3  # ~compute time, not compute+barrier
+
+    def test_unmatched_ibarrier_deadlocks_at_wait(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.ibarrier().wait()  # rank 1 never joins
+
+        res = run_program(prog, 2)
+        assert res.deadlocked
+
+    def test_interleaved_instances_pair_by_ordinal(self):
+        def prog(p):
+            r1 = p.world.iallreduce(1, op=SUM)
+            r2 = p.world.iallreduce(10, op=SUM)
+            assert r2.wait() is not None and r2.data == 20
+            assert r1.wait() is not None and r1.data == 2
+
+        run_ok(prog, 2)
+
+    def test_waitall_over_mixed_kinds(self):
+        def prog(p):
+            reqs = [p.world.ibarrier(), p.world.iallreduce(1, op=SUM)]
+            if p.rank == 0:
+                reqs.append(p.world.irecv(source=1))
+            else:
+                reqs.append(p.world.isend("m", dest=0))
+            p.waitall(reqs)
+            assert reqs[1].data == 2
+
+        run_ok(prog, 2)
+
+
+class TestDampiIntegration:
+    def test_icollective_clock_exchange_at_wait(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("x", dest=1)
+            if p.rank == 1:
+                p.world.recv(source=ANY_SOURCE)  # tick
+            p.world.iallreduce(1, op=SUM).wait()
+
+        pb = PiggybackModule()
+        cm = DampiClockModule(pb)
+        res = run_program(prog, 3, modules=[cm, pb])
+        res.raise_any()
+        assert all(cm.clock_of(r).time >= 1 for r in range(3))
+
+    def test_ibcast_clock_flows_from_root_only(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("x", dest=2)
+            if p.rank == 2:
+                p.world.recv(source=ANY_SOURCE)  # rank 2 ticks
+            p.world.ibcast("v" if p.rank == 1 else None, root=1).wait()
+
+        pb = PiggybackModule()
+        cm = DampiClockModule(pb)
+        res = run_program(prog, 3, modules=[cm, pb])
+        res.raise_any()
+        assert cm.clock_of(0).time == 0  # rank 2's tick must not reach 0
+        assert cm.clock_of(2).time == 1
+
+    def test_crash_truncates_observable_space(self):
+        """Documented behaviour: a self-run crash can hide sends that were
+        never issued — DAMPI covers what any run *observed*, so here the
+        crash is found but only one interleaving exists to explore."""
+
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.ibarrier()
+                x = p.world.recv(source=ANY_SOURCE)
+                req.wait()
+                if x == 2:
+                    raise RuntimeError("alternate")
+            else:
+                p.world.ibarrier().wait()
+                p.world.send(p.rank, dest=0)
+
+        rep = DampiVerifier(prog, 3).verify()
+        assert any(e.kind == "crash" for e in rep.errors)
+        assert rep.interleavings == 1
+
+    def test_verification_with_ibarrier_clean(self):
+        def prog(p):
+            req = p.world.ibarrier()
+            if p.rank == 0:
+                got = {p.world.recv(source=ANY_SOURCE) for _ in range(2)}
+                assert got == {1, 2}
+            else:
+                p.world.send(p.rank, dest=0)
+            req.wait()
+
+        rep = DampiVerifier(prog, 3).verify()
+        assert rep.ok
+        assert rep.interleavings == 2  # both match orders of the funnel

@@ -1,0 +1,191 @@
+"""Leak checker and §V omission monitor as standalone modules."""
+
+from repro.dampi.leaks import LeakCheckModule, LeakReport
+from repro.dampi.monitor import OmissionMonitorModule
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.runtime import run_program
+
+from tests.conftest import run_ok
+
+
+def leaks_of(prog, nprocs):
+    res = run_ok(prog, nprocs, modules=[LeakCheckModule()])
+    return res.artifacts["leaks"]
+
+
+def alerts_of(prog, nprocs):
+    res = run_ok(prog, nprocs, modules=[OmissionMonitorModule()])
+    return res.artifacts["monitor"]
+
+
+class TestLeakChecker:
+    def test_clean_program(self):
+        def prog(p):
+            dup = p.world.dup()
+            if p.rank == 0:
+                dup.send("x", dest=1)
+            elif p.rank == 1:
+                dup.recv(source=0)
+            dup.free()
+
+        assert leaks_of(prog, 3).clean
+
+    def test_unfreed_dup_is_comm_leak(self):
+        def prog(p):
+            p.world.dup()
+
+        report = leaks_of(prog, 2)
+        assert report.has_comm_leak
+        assert len(report.comm_leaks) == 2  # one per rank
+        assert not report.has_request_leak
+
+    def test_unfreed_split_is_comm_leak(self):
+        def prog(p):
+            p.world.split(color=0, key=p.rank)
+
+        assert leaks_of(prog, 2).has_comm_leak
+
+    def test_world_is_not_a_leak(self):
+        def prog(p):
+            p.world.barrier()
+
+        assert leaks_of(prog, 2).clean
+
+    def test_pending_request_at_finalize(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.irecv(source=1, tag=77)  # never completed
+
+        report = leaks_of(prog, 2)
+        assert report.has_request_leak
+        assert "pending at MPI_Finalize" in str(report.request_leaks[0])
+
+    def test_completed_but_unwaited_request(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("m", dest=1)
+            else:
+                p.world.irecv(source=0)  # matches but is never waited
+                p.world.barrier()
+            if p.rank == 0:
+                p.world.barrier()
+
+        report = leaks_of(prog, 2)
+        assert any("never waited" in str(l) for l in report.request_leaks)
+
+    def test_freed_active_request(self):
+        def prog(p):
+            req = p.world.irecv(source=0, tag=50)
+            req.free()
+            if p.rank == 0:
+                pass
+
+        report = leaks_of(prog, 1)
+        assert any("freed while still active" in str(l) for l in report.request_leaks)
+
+    def test_waited_requests_not_leaks(self):
+        def prog(p):
+            if p.rank == 0:
+                reqs = [p.world.isend(i, dest=1) for i in range(3)]
+                p.waitall(reqs)
+            else:
+                for _ in range(3):
+                    p.world.recv(source=0)
+
+        assert leaks_of(prog, 2).clean
+
+    def test_report_merge_and_str(self):
+        a, b = LeakReport(), LeakReport()
+        assert str(a) == "no leaks"
+        from repro.dampi.leaks import CommLeak
+
+        b.comm_leaks.append(CommLeak(0, 5, "world.dup"))
+        a.merge(b)
+        assert a.has_comm_leak and "world.dup" in str(a)
+
+
+class TestOmissionMonitor:
+    def test_send_between_irecv_and_wait(self):
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.irecv(source=ANY_SOURCE)
+                p.world.send("escape", dest=1)  # clock escapes here
+                req.wait()
+            elif p.rank == 1:
+                p.world.recv(source=0)
+                p.world.send("m", dest=0)
+
+        report = alerts_of(prog, 2)
+        assert report.triggered
+        assert report.alerts[0].operation == "isend"
+
+    def test_collective_between_irecv_and_wait(self):
+        from repro.workloads.patterns import fig10_program
+
+        report = alerts_of(fig10_program, 3)
+        assert report.triggered
+        assert report.alerts[0].operation == "barrier"
+
+    def test_wait_before_transmission_is_clean(self):
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.irecv(source=ANY_SOURCE)
+                req.wait()
+                p.world.send("after", dest=1)
+            elif p.rank == 1:
+                p.world.send("m", dest=0)
+                p.world.recv(source=0)
+
+        assert not alerts_of(prog, 2).triggered
+
+    def test_deterministic_irecv_not_monitored(self):
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.irecv(source=1)
+                p.world.barrier()
+                req.wait()
+            else:
+                p.world.send("m", dest=0)
+                p.world.barrier()
+
+        assert not alerts_of(prog, 2).triggered
+
+    def test_test_completion_closes_window(self):
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.irecv(source=ANY_SOURCE)
+                while not req.test()[0]:
+                    pass
+                p.world.send("after-test", dest=1)
+            else:
+                p.world.send("m", dest=0)
+                p.world.recv(source=0)
+
+        assert not alerts_of(prog, 2).triggered
+
+    def test_request_free_closes_window(self):
+        def prog(p):
+            if p.rank == 0:
+                req = p.world.irecv(source=ANY_SOURCE, tag=3)
+                req.free()
+                p.world.barrier()
+            else:
+                p.world.barrier()
+
+        assert not alerts_of(prog, 2).triggered
+
+    def test_alert_counts_outstanding(self):
+        def prog(p):
+            if p.rank == 0:
+                r1 = p.world.irecv(source=ANY_SOURCE, tag=1)
+                r2 = p.world.irecv(source=ANY_SOURCE, tag=2)
+                p.world.send("boom", dest=1)
+                r1.wait()
+                r2.wait()
+            elif p.rank == 1:
+                p.world.recv(source=0)
+                p.world.send("a", dest=0, tag=1)
+                p.world.send("b", dest=0, tag=2)
+
+        report = alerts_of(prog, 2)
+        assert len(report.alerts[0].outstanding_wildcards) == 2

@@ -1,0 +1,217 @@
+"""Collective operation semantics."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.constants import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM
+from repro.mpi.runtime import run_program
+
+from tests.conftest import run_ok
+
+
+class TestValues:
+    def test_barrier_returns_none(self):
+        def prog(p):
+            assert p.world.barrier() is None
+
+        run_ok(prog, 4)
+
+    def test_bcast_from_each_root(self):
+        def prog(p):
+            for root in range(p.size):
+                val = p.world.bcast(("payload", root) if p.rank == root else None, root=root)
+                assert val == ("payload", root)
+
+        run_ok(prog, 4)
+
+    def test_reduce_sum_at_root_only(self):
+        def prog(p):
+            out = p.world.reduce(p.rank + 1, op=SUM, root=2)
+            if p.world.rank == 2:
+                assert out == 10
+            else:
+                assert out is None
+
+        run_ok(prog, 4)
+
+    @pytest.mark.parametrize(
+        "op,expect",
+        [(SUM, 6), (PROD, 0), (MAX, 3), (MIN, 0), (LAND, False), (LOR, True)],
+    )
+    def test_allreduce_ops(self, op, expect):
+        def prog(p):
+            assert p.world.allreduce(p.rank, op=op) == expect
+
+        run_ok(prog, 4)
+
+    def test_allreduce_bitwise(self):
+        def prog(p):
+            assert p.world.allreduce(1 << p.rank, op=BOR) == 0b1111
+            assert p.world.allreduce(0b1111, op=BAND) == 0b1111
+
+        run_ok(prog, 4)
+
+    def test_allreduce_default_op_is_sum(self):
+        def prog(p):
+            assert p.world.allreduce(1) == p.size
+
+        run_ok(prog, 5)
+
+    def test_gather_in_rank_order(self):
+        def prog(p):
+            out = p.world.gather(p.rank * 10, root=1)
+            if p.world.rank == 1:
+                assert out == [0, 10, 20, 30]
+            else:
+                assert out is None
+
+        run_ok(prog, 4)
+
+    def test_scatter(self):
+        def prog(p):
+            data = [f"item{i}" for i in range(p.size)] if p.rank == 0 else None
+            assert p.world.scatter(data, root=0) == f"item{p.rank}"
+
+        run_ok(prog, 4)
+
+    def test_allgather(self):
+        def prog(p):
+            assert p.world.allgather(p.rank**2) == [0, 1, 4, 9]
+
+        run_ok(prog, 4)
+
+    def test_alltoall_transpose(self):
+        def prog(p):
+            out = p.world.alltoall([(p.rank, j) for j in range(p.size)])
+            assert out == [(i, p.rank) for i in range(p.size)]
+
+        run_ok(prog, 3)
+
+    def test_reduce_scatter(self):
+        def prog(p):
+            out = p.world.reduce_scatter([p.rank] * p.size, op=SUM)
+            assert out == sum(range(p.size))
+
+        run_ok(prog, 4)
+
+    def test_scatter_wrong_length_raises(self):
+        def prog(p):
+            data = ["only", "two"] if p.rank == 0 else None
+            p.world.scatter(data, root=0)
+
+        res = run_program(prog, 3)
+        assert any(isinstance(e, MPIError) for e in res.primary_errors.values())
+
+
+class TestPairingAndAgreement:
+    def test_collective_kind_mismatch_detected(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.barrier()
+            else:
+                p.world.allreduce(1, op=SUM)
+
+        res = run_program(prog, 2)
+        assert any(
+            isinstance(e, MPIError) and "mismatch" in str(e)
+            for e in res.primary_errors.values()
+        )
+
+    def test_root_mismatch_detected(self):
+        def prog(p):
+            p.world.bcast("x", root=p.rank)  # different roots!
+
+        res = run_program(prog, 2)
+        assert any(
+            isinstance(e, MPIError) and "root mismatch" in str(e)
+            for e in res.primary_errors.values()
+        )
+
+    def test_op_mismatch_detected(self):
+        def prog(p):
+            p.world.allreduce(1, op=SUM if p.rank == 0 else MAX)
+
+        res = run_program(prog, 2)
+        assert any(
+            isinstance(e, MPIError) and "op mismatch" in str(e)
+            for e in res.primary_errors.values()
+        )
+
+    def test_sequential_collectives_pair_by_ordinal(self):
+        def prog(p):
+            for i in range(10):
+                assert p.world.allreduce(i, op=MAX) == i
+
+        run_ok(prog, 4)
+
+
+class TestCompletionSemantics:
+    def test_bcast_root_does_not_block(self):
+        # root broadcasts then produces the value consumed by rank 1's recv;
+        # if bcast synchronised, this would deadlock because rank 1 enters
+        # its bcast only after receiving.
+        def prog(p):
+            if p.rank == 0:
+                p.world.bcast("b", root=0)
+                p.world.send("follow-up", dest=1)
+            else:
+                assert p.world.recv(source=0) == "follow-up"
+                assert p.world.bcast(None, root=0) == "b"
+
+        run_ok(prog, 2)
+
+    def test_reduce_nonroot_does_not_block(self):
+        def prog(p):
+            if p.rank == 1:
+                p.world.reduce(1, op=SUM, root=0)  # must not wait for root
+                p.world.send("after-reduce", dest=0)
+            else:
+                assert p.world.recv(source=1) == "after-reduce"
+                assert p.world.reduce(1, op=SUM, root=0) == 2
+
+        run_ok(prog, 2)
+
+    def test_barrier_synchronises(self):
+        # A send posted after the barrier can never be consumed by a recv
+        # that completed before it: enforced here via virtual times.
+        def prog(p):
+            p.compute(0.1 * (p.rank + 1))
+            p.world.barrier()
+            return p.engine.clocks.now(p.rank)
+
+        res = run_ok(prog, 3)
+        assert max(res.returns.values()) - min(res.returns.values()) < 1e-4
+
+    def test_missing_participant_deadlocks(self):
+        def prog(p):
+            if p.rank != 2:
+                p.world.barrier()
+
+        res = run_program(prog, 3)
+        assert res.deadlocked
+
+
+class TestCommunicatorCollectives:
+    def test_collectives_on_split_comm(self):
+        def prog(p):
+            sub = p.world.split(color=p.rank % 2, key=p.rank)
+            total = sub.allreduce(p.rank, op=SUM)
+            # evens: 0+2+4, odds: 1+3+5
+            assert total == (6 if p.rank % 2 == 0 else 9)
+            sub.free()
+
+        run_ok(prog, 6)
+
+    def test_traffic_isolated_between_comms(self):
+        def prog(p):
+            dup = p.world.dup()
+            if p.rank == 0:
+                p.world.send("on-world", dest=1, tag=5)
+                dup.send("on-dup", dest=1, tag=5)
+            else:
+                # receive from the dup first: world's message must not leak
+                assert dup.recv(source=0, tag=5) == "on-dup"
+                assert p.world.recv(source=0, tag=5) == "on-world"
+            dup.free()
+
+        run_ok(prog, 2)

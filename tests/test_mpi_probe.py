@@ -1,0 +1,111 @@
+"""Probe and iprobe semantics."""
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.runtime import run_program
+
+from tests.conftest import run_ok
+
+
+class TestProbe:
+    def test_probe_reports_without_consuming(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send([1, 2, 3], dest=1, tag=8)
+            else:
+                st = p.world.probe(source=0, tag=8)
+                assert st.source == 0 and st.tag == 8
+                assert st.get_count() == 3
+                # probing again sees the same message; it was not consumed
+                st2 = p.world.probe(source=0, tag=8)
+                assert st2.source == 0
+                assert p.world.recv(source=0, tag=8) == [1, 2, 3]
+
+        run_ok(prog, 2)
+
+    def test_probe_blocks_until_message(self):
+        def prog(p):
+            if p.rank == 0:
+                p.compute(0.001)
+                p.world.send("late", dest=1)
+            else:
+                st = p.world.probe(source=ANY_SOURCE, tag=ANY_TAG)
+                assert st.source == 0
+                p.world.recv(source=st.source, tag=st.tag)
+
+        run_ok(prog, 2)
+
+    def test_probe_then_targeted_recv(self):
+        """The probe+recv idiom: learn the source, then receive exactly it."""
+
+        def prog(p):
+            if p.rank == 2:
+                for _ in range(2):
+                    st = p.world.probe(source=ANY_SOURCE)
+                    got = p.world.recv(source=st.source, tag=st.tag)
+                    assert got == f"from{st.source}"
+            else:
+                p.world.send(f"from{p.rank}", dest=2)
+
+        run_ok(prog, 3)
+
+    def test_probe_deadlock_detected(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.probe(source=1, tag=5)  # never sent
+
+        res = run_program(prog, 2)
+        assert res.deadlocked
+
+
+class TestIprobe:
+    def test_iprobe_false_when_empty(self):
+        def prog(p):
+            flag, st = p.world.iprobe(source=ANY_SOURCE)
+            assert not flag and st is None
+
+        run_ok(prog, 2)
+
+    def test_iprobe_true_after_send(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("x", dest=1, tag=3)
+                p.world.barrier()
+            else:
+                p.world.barrier()
+                flag, st = p.world.iprobe(source=0, tag=3)
+                assert flag and st.tag == 3
+                p.world.recv(source=0, tag=3)
+
+        run_ok(prog, 2)
+
+    def test_iprobe_poll_loop_makes_progress(self):
+        """An iprobe polling loop must not livelock the deterministic
+        scheduler (iprobe is a scheduling point)."""
+
+        def prog(p):
+            if p.rank == 0:
+                while True:
+                    flag, st = p.world.iprobe(source=1)
+                    if flag:
+                        break
+                assert p.world.recv(source=1) == "found"
+            else:
+                p.compute(1e-4)
+                p.world.send("found", dest=0)
+
+        run_ok(prog, 2)
+
+    def test_iprobe_tag_filter(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("a", dest=1, tag=1)
+                p.world.barrier()
+            else:
+                p.world.barrier()
+                flag, _ = p.world.iprobe(source=0, tag=2)
+                assert not flag
+                flag, _ = p.world.iprobe(source=0, tag=1)
+                assert flag
+                p.world.recv(source=0, tag=1)
+
+        run_ok(prog, 2)

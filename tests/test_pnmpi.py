@@ -1,0 +1,127 @@
+"""PnMPI interposition stack: chaining, ordering, argument rewriting."""
+
+import pytest
+
+from repro.mpi.runtime import run_program
+from repro.pnmpi import ENTRY_POINTS, ToolModule, ToolStack
+
+from tests.conftest import run_ok
+
+
+class Recorder(ToolModule):
+    """Records the order in which its wrappers fire."""
+
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def isend(self, proc, chain, comm, payload, dest, tag):
+        self.log.append((self.name, "pre", payload))
+        req = chain(comm, payload, dest, tag)
+        self.log.append((self.name, "post", payload))
+        return req
+
+
+class Rewriter(ToolModule):
+    """Rewrites payloads on the way down — like DAMPI rewrites sources."""
+
+    name = "rewriter"
+
+    def isend(self, proc, chain, comm, payload, dest, tag):
+        return chain(comm, f"[{payload}]", dest, tag)
+
+
+class TestStack:
+    def test_outermost_module_sees_call_first(self):
+        log = []
+        mods = [Recorder("outer", log), Recorder("inner", log)]
+
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("m", dest=1)
+            else:
+                p.world.recv(source=0)
+
+        run_ok(prog, 2, modules=mods)
+        pre = [e for e in log if e[1] == "pre"]
+        post = [e for e in log if e[1] == "post"]
+        assert pre == [("outer", "pre", "m"), ("inner", "pre", "m")]
+        assert post == [("inner", "post", "m"), ("outer", "post", "m")]
+
+    def test_argument_rewriting_reaches_engine(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("x", dest=1)
+            else:
+                assert p.world.recv(source=0) == "[x]"
+
+        run_ok(prog, 2, modules=[Rewriter()])
+
+    def test_unwrapped_points_skip_modules(self):
+        log = []
+
+        def prog(p):
+            p.world.barrier()  # Recorder does not wrap barrier
+
+        run_ok(prog, 2, modules=[Recorder("r", log)])
+        assert log == []
+
+    def test_pmpi_bypasses_stack(self):
+        log = []
+
+        class PmpiSender(ToolModule):
+            name = "pmpisender"
+
+            def barrier(self, proc, chain, comm):
+                # issue an uninstrumented send: Recorder must not see it
+                if proc.world_rank == 0:
+                    req = proc.pmpi.isend(proc.world, "hidden", 1, 99)
+                    proc.pmpi.wait(req)
+                else:
+                    req = proc.pmpi.irecv(proc.world, 0, 99)
+                    proc.pmpi.wait(req)
+                return chain(comm)
+
+        def prog(p):
+            p.world.barrier()
+
+        run_ok(prog, 2, modules=[Recorder("spy", log), PmpiSender()])
+        assert log == []
+
+    def test_duplicate_module_names_rejected(self):
+        with pytest.raises(ValueError):
+            ToolStack([Rewriter(), Rewriter()])
+
+    def test_overrides_detection(self):
+        r = Rewriter()
+        assert r.overrides("isend")
+        assert not r.overrides("irecv")
+
+    def test_all_entry_points_have_bottoms(self):
+        from repro.mpi.engine import MessageEngine
+        from repro.mpi.process import Proc
+
+        proc = Proc(0, MessageEngine(1))
+        for point in ENTRY_POINTS:
+            assert point in proc._bottoms, point
+
+    def test_pmpi_waitall_is_blocked(self):
+        from repro.mpi.engine import MessageEngine
+        from repro.mpi.process import Proc
+
+        proc = Proc(0, MessageEngine(1))
+        with pytest.raises(AttributeError):
+            proc.pmpi.waitall
+
+    def test_finish_artifacts_collected(self):
+        class Artful(ToolModule):
+            name = "artful"
+
+            def finish(self, runtime):
+                return {"ranks": runtime.nprocs}
+
+        def prog(p):
+            pass
+
+        res = run_ok(prog, 3, modules=[Artful()])
+        assert res.artifacts["artful"] == {"ranks": 3}

@@ -1,0 +1,83 @@
+"""The post-mortem queue scan: exploring around a deadlocked self run.
+
+Found by differential testing against the oracle (hypothesis seed 5607):
+when the self run deadlocks, the finalize drain never executes, so
+without a post-mortem scan DAMPI records no alternatives and misses every
+feasible completed execution.  The scan reads the unexpected queues after
+the engine stops and feeds them through the normal late-message analysis.
+"""
+
+import pytest
+
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier
+from repro.mpi.constants import ANY_SOURCE
+
+from tests.oracle import dampi_outcomes, feasible_outcomes, recv, send, wild, as_runnable
+
+
+#: The program the oracle caught us on: the self run's wildcards eat both
+#: of rank 1's messages, starving recv(1) into a deadlock — but six
+#: completed executions are feasible.
+PINNED = [
+    [wild(0), wild(0), recv(1, 0), recv(3, 0), wild(0)],
+    [send(0, 0), send(0, 0), wild(0)],
+    [send(0, 0), send(1, 0)],
+    [send(0, 0), send(0, 0)],
+]
+
+
+class TestPinnedRegression:
+    def test_self_run_deadlocks(self):
+        v = DampiVerifier(as_runnable(PINNED), 4, DampiConfig(enable_monitor=False))
+        result, _ = v.run_once()
+        assert result.deadlocked
+
+    @pytest.mark.parametrize("clock_impl", ["vector", "lamport"])
+    def test_exploration_escapes_the_deadlock(self, clock_impl):
+        cfg = DampiConfig(clock_impl=clock_impl, enable_monitor=False)
+        rep = DampiVerifier(as_runnable(PINNED), 4, cfg).verify()
+        completed = dampi_outcomes(rep)
+        assert completed, "post-mortem scan must reveal escape routes"
+        if clock_impl == "vector":
+            expected, _ = feasible_outcomes(PINNED)
+            assert completed == expected  # all six completed executions
+
+    def test_deadlock_reported_alongside(self):
+        rep = DampiVerifier(
+            as_runnable(PINNED), 4, DampiConfig(enable_monitor=False)
+        ).verify()
+        assert rep.deadlocks  # the deadlock itself is still a finding
+
+
+class TestPostMortemMechanics:
+    def test_crashed_run_also_scanned(self):
+        """A crash (not just deadlock) leaves queues; alternatives must
+        still be discovered so replays can probe other matches."""
+
+        def prog(p):
+            if p.rank == 0:
+                x = p.world.recv(source=ANY_SOURCE)
+                raise RuntimeError(f"crash after matching {x}")
+            p.world.send(p.rank, dest=0)
+
+        rep = DampiVerifier(prog, 3, DampiConfig(enable_monitor=False)).verify()
+        # both matches explored; both crash (distinct messages)
+        assert rep.interleavings == 2
+        crashes = [e for e in rep.errors if e.kind == "crash"]
+        assert len(crashes) == 2
+
+    def test_inline_mechanism_post_mortem(self):
+        cfg = DampiConfig(piggyback="inline", enable_monitor=False)
+        rep = DampiVerifier(as_runnable(PINNED), 4, cfg).verify()
+        assert dampi_outcomes(rep)
+
+    def test_clean_runs_unaffected(self):
+        """In a clean run the finalize drain consumed everything; the scan
+        must not double-count (coverage stays exactly P^N)."""
+        from repro.workloads.patterns import wildcard_lattice
+
+        rep = DampiVerifier(
+            wildcard_lattice, 4, kwargs={"receives": 3, "senders": 3}
+        ).verify()
+        assert rep.interleavings == 27

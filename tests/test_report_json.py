@@ -1,0 +1,60 @@
+"""Machine-readable report export and wtime."""
+
+import json
+
+import pytest
+
+from repro.dampi.verifier import DampiVerifier
+from repro.mpi.runtime import run_program
+from repro.workloads.patterns import fig3_program, wildcard_lattice
+
+from tests.conftest import run_ok
+
+
+class TestReportJson:
+    def test_clean_report(self):
+        rep = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        payload = json.loads(rep.to_json())
+        assert payload["interleavings"] == 4
+        assert payload["errors"] == []
+        assert payload["distinct_outcomes"] == 4
+        assert len(payload["runs"]) == 4
+        assert payload["runs"][0]["flip"] is None
+
+    def test_error_report_carries_witness(self):
+        rep = DampiVerifier(fig3_program, 3).verify()
+        payload = json.loads(rep.to_json())
+        (err,) = payload["errors"]
+        assert err["kind"] == "crash"
+        assert err["witness"] == [[1, 0, 2]]
+
+    def test_json_is_stable_under_roundtrip(self):
+        rep = DampiVerifier(fig3_program, 3).verify()
+        a = json.loads(rep.to_json())
+        b = json.loads(rep.to_json())
+        assert a == b
+
+
+class TestWtime:
+    def test_advances_with_compute(self):
+        def prog(p):
+            t0 = p.wtime()
+            p.compute(0.5)
+            return p.wtime() - t0
+
+        res = run_ok(prog, 2)
+        assert all(abs(v - 0.5) < 1e-9 for v in res.returns.values())
+
+    def test_advances_with_communication(self):
+        def prog(p):
+            t0 = p.wtime()
+            if p.rank == 0:
+                p.world.send(b"x" * 4096, dest=1)
+            else:
+                p.world.recv(source=0)
+            return p.wtime() - t0
+
+        res = run_ok(prog, 2)
+        assert res.returns[1] > 2.0e-6  # at least the latency

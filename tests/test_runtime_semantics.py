@@ -1,0 +1,241 @@
+"""Runtime-level semantics: error attribution, results, replay determinism."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import AbortError, DeadlockError
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, SUM
+from repro.mpi.runtime import Runtime, run_program
+
+from tests.conftest import run_ok
+
+
+class TestErrorAttribution:
+    def test_primary_error_is_the_raiser(self):
+        def prog(p):
+            if p.rank == 1:
+                raise ValueError("rank 1's own bug")
+            p.world.recv(source=1)  # ranks 0 and 2 block forever
+
+        res = run_program(prog, 3)
+        primary = res.primary_errors
+        assert list(primary) == [1]
+        assert isinstance(primary[1], ValueError)
+        # collateral aborts recorded but filtered from primary
+        assert len(res.errors) == 3
+
+    def test_deadlock_reported_once_in_primary(self):
+        def prog(p):
+            p.world.recv(source=(p.rank + 1) % p.size)
+
+        res = run_program(prog, 4)
+        assert res.deadlocked
+        deadlocks = [
+            e for e in res.primary_errors.values() if isinstance(e, DeadlockError)
+        ]
+        assert len(deadlocks) == 1
+
+    def test_explicit_abort_is_primary_for_its_rank(self):
+        def prog(p):
+            if p.rank == 0:
+                p.abort(7)
+            else:
+                p.world.barrier()
+
+        res = run_program(prog, 2)
+        primary = res.primary_errors
+        assert list(primary) == [0]
+        assert isinstance(primary[0], AbortError)
+        assert primary[0].errorcode == 7
+
+    def test_raise_any_noop_when_clean(self):
+        res = run_ok(lambda p: None, 2)
+        res.raise_any()
+
+    def test_result_repr_states_outcome(self):
+        res = run_program(lambda p: None, 2)
+        assert "ok" in repr(res)
+        res = run_program(lambda p: p.world.recv(source=(p.rank + 1) % 2), 2)
+        assert "deadlock" in repr(res)
+
+
+class TestReturns:
+    def test_per_rank_returns(self):
+        res = run_ok(lambda p: p.rank * 2, 4)
+        assert res.returns == {0: 0, 1: 2, 2: 4, 3: 6}
+
+    def test_args_and_kwargs_forwarded(self):
+        def prog(p, a, b=0):
+            return a + b + p.rank
+
+        res = run_ok(prog, 2, args=(10,), kwargs={"b": 5})
+        assert res.returns == {0: 15, 1: 16}
+
+    def test_failed_rank_has_no_return(self):
+        def prog(p):
+            if p.rank == 0:
+                raise RuntimeError("x")
+            return 1
+
+        res = run_program(prog, 2)
+        assert 0 not in res.returns
+
+
+class TestReplayDeterminism:
+    """The property guided replays depend on: identical configurations
+    produce byte-identical executions under run_to_block."""
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        sends=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),  # sender
+                st.integers(min_value=0, max_value=2),  # tag
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_wildcard_outcomes_reproducible(self, sends):
+        def prog(p):
+            if p.rank == 0:
+                got = []
+                for _ in range(len(sends)):
+                    from repro.mpi.request import Status
+
+                    stt = Status()
+                    p.world.recv(source=ANY_SOURCE, tag=ANY_TAG, status=stt)
+                    got.append((stt.source, stt.tag))
+                return tuple(got)
+            mine = [t for s, t in sends if s == p.rank]
+            for tag in mine:
+                p.world.send(p.rank, dest=0, tag=tag)
+
+        outcomes = {run_ok(prog, 4).returns[0] for _ in range(3)}
+        assert len(outcomes) == 1
+
+    def test_virtual_times_reproducible(self):
+        from repro.workloads.parmetis import parmetis_program
+
+        spans = {
+            run_ok(parmetis_program, 4, kwargs={"scale": 0.003}).makespan
+            for _ in range(3)
+        }
+        assert len(spans) == 1
+
+
+class TestDivergingReplays:
+    """Programs whose control flow depends on the match outcome: replays
+    legitimately take different paths; the verifier must stay sound."""
+
+    @staticmethod
+    def branching(p):
+        """Control flow depends on the first match: the `first == 1` branch
+        posts two more wildcards, the other drains rank 1 deterministically
+        (both branches consume all three messages)."""
+        if p.rank == 0:
+            first = p.world.recv(source=ANY_SOURCE)
+            if first == 1:
+                p.world.recv(source=ANY_SOURCE)
+                p.world.recv(source=ANY_SOURCE)
+            else:
+                p.world.recv(source=1)
+                p.world.recv(source=1)
+        elif p.rank == 1:
+            p.world.send(1, dest=0)
+            p.world.send(1, dest=0)
+        else:
+            p.world.send(2, dest=0)
+
+    def test_branching_program_verifies_clean(self):
+        from repro.dampi.verifier import DampiVerifier
+
+        rep = DampiVerifier(self.branching, 3).verify()
+        assert rep.ok, rep.summary()
+        assert rep.interleavings >= 2
+        assert len(rep.outcomes) >= 2
+
+    def test_divergence_counter_exposed(self):
+        from repro.dampi.config import DampiConfig
+        from repro.dampi.verifier import DampiVerifier
+
+        rep = DampiVerifier(self.branching, 3, DampiConfig()).verify()
+        assert rep.divergences >= 0  # bookkeeping exists and is non-negative
+
+
+# ------------------------------------------------------------------ #
+# property tests on core runtime invariants                           #
+# ------------------------------------------------------------------ #
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    plan=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # tag
+            st.integers(min_value=1, max_value=4),  # burst length
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_non_overtaking_property(plan):
+    """For any send plan over multiple tags, per-(source, tag) receive
+    order equals send order — MPI's non-overtaking rule."""
+
+    def prog(p):
+        if p.rank == 0:
+            seq = 0
+            for tag, burst in plan:
+                for _ in range(burst):
+                    p.world.send(seq, dest=1, tag=tag)
+                    seq += 1
+        else:
+            per_tag = {}
+            total = sum(b for _, b in plan)
+            from repro.mpi.request import Status
+
+            for _ in range(total):
+                stt = Status()
+                v = p.world.recv(source=0, tag=ANY_TAG, status=stt)
+                per_tag.setdefault(stt.tag, []).append(v)
+            return per_tag
+
+    res = run_ok(prog, 2)
+    per_tag = res.returns[1]
+    for tag, values in per_tag.items():
+        assert values == sorted(values), f"tag {tag} overtook: {values}"
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    values=st.lists(st.integers(min_value=-100, max_value=100), min_size=2, max_size=8)
+)
+def test_allreduce_matches_python_sum(values):
+    n = len(values)
+
+    def prog(p):
+        return p.world.allreduce(values[p.rank], op=SUM)
+
+    res = run_ok(prog, n)
+    assert set(res.returns.values()) == {sum(values)}
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(perm_seed=st.integers(min_value=0, max_value=10**6))
+def test_alltoall_is_an_involution(perm_seed):
+    """alltoall twice returns each rank's original row."""
+    import random
+
+    n = 4
+    rng = random.Random(perm_seed)
+    rows = [[rng.randrange(100) for _ in range(n)] for _ in range(n)]
+
+    def prog(p):
+        once = p.world.alltoall(rows[p.rank])
+        twice = p.world.alltoall(once)
+        return twice
+
+    res = run_ok(prog, n)
+    for r in range(n):
+        assert res.returns[r] == rows[r]

@@ -1,0 +1,107 @@
+"""Operation tracing: Table I classification rules."""
+
+from repro.mpi.constants import ANY_SOURCE, SUM
+from repro.mpi.tracing import CLASSIFICATION, OpClass, TraceModule
+
+from tests.conftest import run_ok
+
+
+def traced(prog, nprocs, **kw):
+    tm = TraceModule()
+    res = run_ok(prog, nprocs, modules=[tm], **kw)
+    return res.artifacts["trace"]
+
+
+class TestClassification:
+    def test_p2p_counts(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("x", dest=1)  # isend + wait
+            else:
+                p.world.recv(source=0)  # irecv + wait
+
+        report = traced(prog, 2)
+        assert report.total(OpClass.SEND_RECV) == 2  # one isend + one irecv
+        assert report.total(OpClass.WAIT) == 2
+
+    def test_collective_counts(self):
+        def prog(p):
+            p.world.barrier()
+            p.world.allreduce(1, op=SUM)
+            p.world.bcast("x" if p.rank == 0 else None, root=0)
+
+        report = traced(prog, 3)
+        assert report.total(OpClass.COLLECTIVE) == 9
+
+    def test_waitall_counts_once(self):
+        def prog(p):
+            if p.rank == 0:
+                reqs = [p.world.irecv(source=1) for _ in range(4)]
+                p.waitall(reqs)
+            else:
+                for i in range(4):
+                    p.world.send(i, dest=0)
+
+        report = traced(prog, 2)
+        # rank 0: 1 waitall; rank 1: 4 send-side waits
+        assert report.total(OpClass.WAIT) == 5
+
+    def test_local_ops_excluded_from_all(self):
+        def prog(p):
+            dup = p.world.dup()
+            dup.free()
+            p.pcontrol(1)
+            p.pcontrol(0)
+
+        report = traced(prog, 2)
+        # comm_dup is collective; free and pcontrol are local
+        assert report.total() == report.total(OpClass.COLLECTIVE) == 2
+
+    def test_per_proc_average(self):
+        def prog(p):
+            if p.rank == 0:
+                for i in range(6):
+                    p.world.send(i, dest=1)
+            else:
+                for _ in range(6):
+                    p.world.recv(source=0)
+
+        report = traced(prog, 2)
+        assert report.per_proc(OpClass.SEND_RECV) == 6.0
+
+    def test_row_keys_match_table1(self):
+        def prog(p):
+            p.world.barrier()
+
+        report = traced(prog, 2)
+        assert set(report.row()) == {
+            "All",
+            "All per proc",
+            "Send-Recv",
+            "Send-Recv per proc",
+            "Collective",
+            "Collective per proc",
+            "Wait",
+            "Wait per proc",
+        }
+
+    def test_probes_are_send_recv_class(self):
+        assert CLASSIFICATION["probe"] is OpClass.SEND_RECV
+        assert CLASSIFICATION["iprobe"] is OpClass.SEND_RECV
+
+    def test_wildcard_traffic_counted_once(self):
+        """DAMPI's piggyback traffic must not inflate application counts."""
+        from repro.dampi.clock_module import DampiClockModule
+        from repro.dampi.piggyback import PiggybackModule
+
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("x", dest=1)
+            else:
+                p.world.recv(source=ANY_SOURCE)
+
+        tm = TraceModule()
+        pb = PiggybackModule()
+        res = run_ok(prog, 2, modules=[tm, DampiClockModule(pb), pb])
+        report = res.artifacts["trace"]
+        assert report.total(OpClass.SEND_RECV) == 2

@@ -1,0 +1,215 @@
+"""End-to-end verification: coverage, error finding, witnesses, bounds."""
+
+import pytest
+
+from repro.dampi.config import DampiConfig
+from repro.dampi.decisions import EpochDecisions
+from repro.dampi.verifier import DampiVerifier, measure_slowdown
+from repro.mpi.constants import ANY_SOURCE
+from repro.workloads.patterns import (
+    WildcardBugError,
+    deadlock_program,
+    fig3_program,
+    fig4_program,
+    fig10_program,
+    orphan_resources_program,
+    wildcard_lattice,
+)
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("receives,senders", [(1, 2), (2, 2), (2, 3), (3, 2)])
+    def test_lattice_full_coverage(self, receives, senders):
+        rep = DampiVerifier(
+            wildcard_lattice,
+            senders + 1,
+            kwargs={"receives": receives, "senders": senders},
+        ).verify()
+        assert rep.interleavings == senders**receives
+        assert len(rep.outcomes) == senders**receives
+
+    def test_no_redundant_runs_on_lattice(self):
+        rep = DampiVerifier(
+            wildcard_lattice, 4, kwargs={"receives": 2, "senders": 3}
+        ).verify()
+        # every run produced a distinct outcome: the walk is non-redundant
+        assert rep.interleavings == len(rep.outcomes) == 9
+
+    def test_deterministic_program_single_run(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.send("x", dest=1)
+            else:
+                p.world.recv(source=0)
+
+        rep = DampiVerifier(prog, 2).verify()
+        assert rep.interleavings == 1
+        assert rep.wildcards_analyzed == 0
+        assert rep.ok
+
+    def test_inline_piggyback_same_coverage(self):
+        cfg = DampiConfig(piggyback="inline")
+        rep = DampiVerifier(
+            wildcard_lattice, 4, cfg, kwargs={"receives": 2, "senders": 3}
+        ).verify()
+        assert rep.interleavings == 9
+
+
+class TestErrorFinding:
+    def test_fig3_heisenbug_found_with_witness(self):
+        rep = DampiVerifier(fig3_program, 3).verify()
+        crashes = [e for e in rep.errors if e.kind == "crash"]
+        assert len(crashes) == 1
+        assert "WildcardBugError" in crashes[0].detail
+        wit = crashes[0].decisions
+        assert wit is not None and wit.forced == {(1, 0): 2}
+
+    def test_fig3_witness_replays_the_bug(self):
+        rep = DampiVerifier(fig3_program, 3).verify()
+        wit = rep.errors[0].decisions
+        v = DampiVerifier(fig3_program, 3)
+        result, _ = v.run_once(EpochDecisions(forced=dict(wit.forced), flip=wit.flip))
+        assert any(
+            isinstance(e, WildcardBugError) for e in result.primary_errors.values()
+        )
+
+    def test_deadlock_reported_once(self):
+        rep = DampiVerifier(deadlock_program, 2).verify()
+        assert len(rep.deadlocks) == 1
+        assert rep.interleavings == 1  # no wildcards: nothing to explore
+
+    def test_error_dedup_across_runs(self):
+        """The same leak fires every run; the report lists it once."""
+        rep = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        rep2 = DampiVerifier(orphan_resources_program, 3).verify()
+        kinds = [e.kind for e in rep2.errors]
+        assert kinds.count("request_leak") == 1
+
+    def test_leaks_reported(self):
+        rep = DampiVerifier(orphan_resources_program, 3).verify()
+        assert any(e.kind == "communicator_leak" for e in rep.errors)
+        assert any(e.kind == "request_leak" for e in rep.errors)
+        assert rep.leak_report.has_comm_leak
+        assert rep.leak_report.has_request_leak
+
+
+class TestClockImplComparison:
+    def test_fig4_lamport_incomplete(self):
+        rep = DampiVerifier(fig4_program, 4, DampiConfig(clock_impl="lamport")).verify()
+        assert rep.interleavings == 1  # cross matches invisible to LC
+
+    def test_fig4_vector_complete(self):
+        rep = DampiVerifier(fig4_program, 4, DampiConfig(clock_impl="vector")).verify()
+        assert rep.interleavings == 3
+        assert rep.deadlocks  # the cross matchings starve a receive
+
+    def test_vector_coverage_superset_of_lamport(self):
+        for kwargs in ({"receives": 2, "senders": 2}, {"receives": 3, "senders": 2}):
+            rl = DampiVerifier(
+                wildcard_lattice, 3, DampiConfig(clock_impl="lamport"), kwargs=kwargs
+            ).verify()
+            rv = DampiVerifier(
+                wildcard_lattice, 3, DampiConfig(clock_impl="vector"), kwargs=kwargs
+            ).verify()
+            assert rl.outcomes <= rv.outcomes
+
+
+class TestMonitor:
+    def test_fig10_omission_alert(self):
+        rep = DampiVerifier(fig10_program, 3).verify()
+        assert rep.monitor_report.triggered
+        alert = rep.monitor_report.alerts[0]
+        assert alert.rank == 1 and alert.operation == "barrier"
+
+    def test_fig10_bug_is_indeed_missed(self):
+        """The monitor exists because DAMPI cannot explore the alternate
+        match here — confirm the omission (no crash found, 1 interleaving)."""
+        rep = DampiVerifier(fig10_program, 3).verify()
+        assert rep.interleavings == 1
+        assert not any(e.kind == "crash" for e in rep.errors)
+
+    def test_clean_program_no_alerts(self):
+        rep = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        assert not rep.monitor_report.triggered
+
+
+class TestBudgets:
+    def test_max_interleavings_truncates(self):
+        cfg = DampiConfig(max_interleavings=5)
+        rep = DampiVerifier(
+            wildcard_lattice, 4, cfg, kwargs={"receives": 3, "senders": 3}
+        ).verify()
+        assert rep.interleavings == 5
+        assert rep.truncated
+
+    def test_exact_budget_not_flagged_truncated(self):
+        cfg = DampiConfig(max_interleavings=4)
+        rep = DampiVerifier(
+            wildcard_lattice, 3, cfg, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        assert rep.interleavings == 4
+        assert not rep.truncated
+
+    def test_bound_k_zero_linear(self):
+        cfg = DampiConfig(bound_k=0)
+        rep = DampiVerifier(
+            wildcard_lattice, 4, cfg, kwargs={"receives": 4, "senders": 3}
+        ).verify()
+        # 1 self run + 4 epochs x 2 alternatives each
+        assert rep.interleavings == 1 + 4 * 2
+
+    def test_bound_k_monotone(self):
+        counts = []
+        for k in (0, 1, 2, None):
+            cfg = DampiConfig(bound_k=k)
+            rep = DampiVerifier(
+                wildcard_lattice, 4, cfg, kwargs={"receives": 3, "senders": 3}
+            ).verify()
+            counts.append(rep.interleavings)
+        assert counts == sorted(counts)
+        assert counts[-1] == 27
+
+
+class TestReport:
+    def test_summary_mentions_errors(self):
+        rep = DampiVerifier(fig3_program, 3).verify()
+        text = rep.summary()
+        assert "ERRORS" in text and "crash" in text
+
+    def test_summary_clean(self):
+        rep = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 1, "senders": 2}
+        ).verify()
+        assert "no errors found" in rep.summary()
+
+    def test_keep_traces(self):
+        cfg = DampiConfig(keep_traces=True)
+        rep = DampiVerifier(
+            wildcard_lattice, 3, cfg, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        assert len(rep.traces) == rep.interleavings
+
+    def test_run_records(self):
+        rep = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        assert rep.runs[0].flip is None  # self run
+        assert all(r.flip is not None for r in rep.runs[1:])
+
+
+class TestMeasureSlowdown:
+    def test_reports_fields(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.recv(source=ANY_SOURCE)
+            else:
+                p.world.send(1, dest=0)
+
+        m = measure_slowdown(prog, 2)
+        assert m["slowdown"] >= 1.0
+        assert m["wildcards"] == 1
+        assert not m["comm_leak"] and not m["request_leak"]

@@ -1,0 +1,157 @@
+"""Virtual-time invariants of the cost model, property-tested."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mpi.constants import SUM
+from repro.mpi.runtime import Runtime, run_program
+
+from tests.conftest import run_ok
+
+
+class ClockProbe:
+    """Samples per-rank clocks inside a program via closures."""
+
+    def __init__(self):
+        self.samples = {}
+
+    def snap(self, p, label):
+        self.samples.setdefault(p.rank, []).append((label, p.wtime()))
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    computes=st.lists(
+        st.floats(min_value=0.0, max_value=1e-3, allow_nan=False), min_size=2, max_size=6
+    )
+)
+def test_clocks_monotone_per_rank(computes):
+    probe = ClockProbe()
+
+    def prog(p):
+        for i, c in enumerate(computes):
+            probe.snap(p, i)
+            p.compute(c)
+            if i % 2 == 0:
+                p.world.allreduce(1, op=SUM)
+        probe.snap(p, "end")
+
+    probe.samples.clear()
+    run_ok(prog, 3)
+    for rank, samples in probe.samples.items():
+        times = [t for _, t in samples]
+        assert times == sorted(times), f"rank {rank} clock went backwards"
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    loads=st.lists(
+        st.floats(min_value=0.0, max_value=0.01, allow_nan=False), min_size=2, max_size=6
+    )
+)
+def test_makespan_bounds(loads):
+    """max(individual compute) <= makespan <= sum(compute) + comm slack."""
+
+    def prog(p):
+        p.compute(loads[p.rank])
+        p.world.barrier()
+
+    res = run_ok(prog, len(loads))
+    assert res.makespan >= max(loads)
+    assert res.makespan <= sum(loads) + 1e-3  # far below the serial sum + slack
+
+
+def test_receive_completion_not_before_send():
+    """A receive's completion time can never precede its send's issue."""
+
+    def prog(p):
+        if p.rank == 0:
+            p.compute(1e-3)
+            t_send = p.wtime()
+            p.world.send(t_send, dest=1)
+        else:
+            t_send = p.world.recv(source=0)
+            assert p.wtime() >= t_send
+
+    run_ok(prog, 2)
+
+
+def test_barrier_aligns_clocks():
+    def prog(p):
+        p.compute(1e-4 * (p.rank + 1))
+        p.world.barrier()
+        return p.wtime()
+
+    res = run_ok(prog, 4)
+    times = list(res.returns.values())
+    assert max(times) - min(times) < 1e-6
+
+
+def test_synchronizing_collective_completion_after_last_entry():
+    def prog(p):
+        if p.rank == 2:
+            p.compute(5e-3)  # the straggler
+        p.world.allreduce(1, op=SUM)
+        return p.wtime()
+
+    res = run_ok(prog, 3)
+    assert all(t >= 5e-3 for t in res.returns.values())
+
+
+def test_bcast_nonroot_waits_for_root_not_siblings():
+    def prog(p):
+        if p.rank == 0:
+            p.compute(1e-3)  # slow root
+        if p.rank == 2:
+            p.compute(8e-3)  # very slow sibling, irrelevant to rank 1
+        p.world.bcast("x" if p.rank == 0 else None, root=0)
+        return p.wtime()
+
+    res = run_ok(prog, 3)
+    assert res.returns[1] >= 1e-3  # waited for root
+    assert res.returns[1] < 5e-3  # did NOT wait for the slow sibling
+
+
+class TestCoverageIndependentOfNativePolicy:
+    """DAMPI's guarantee must not depend on which schedule the self run
+    happens to produce: different native policies explore the same
+    outcome set (possibly via different run orders)."""
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"receives": 2, "senders": 2}, {"receives": 3, "senders": 2}]
+    )
+    def test_policies_converge_to_same_outcomes(self, kwargs):
+        from repro.dampi.config import DampiConfig
+        from repro.dampi.verifier import DampiVerifier
+        from repro.workloads.patterns import wildcard_lattice
+
+        outcome_sets = []
+        for policy in ("arrival", "lowest_rank", "highest_rank", "random:3"):
+            cfg = DampiConfig(policy=policy, enable_monitor=False)
+            rep = DampiVerifier(
+                wildcard_lattice, 3, cfg, kwargs=kwargs
+            ).verify()
+            outcome_sets.append(rep.outcomes)
+        assert all(s == outcome_sets[0] for s in outcome_sets)
+
+
+class TestAdlbConservationProperty:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        units=st.integers(min_value=0, max_value=4),
+        servers=st.integers(min_value=1, max_value=2),
+        workers=st.integers(min_value=1, max_value=4),
+    )
+    def test_work_conserved(self, units, servers, workers):
+        from repro.adlb import adlb_run, batch_app
+
+        nprocs = servers + workers
+
+        def job(p):
+            return adlb_run(p, batch_app, num_servers=servers, units_per_worker=units)
+
+        res = run_ok(job, nprocs)
+        total = sum(v[0] for v in res.returns.values() if v is not None)
+        assert total == units * workers
