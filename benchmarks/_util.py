@@ -13,10 +13,16 @@ EXPERIMENTS.md.  Set ``REPRO_FULL=1`` for paper-scale runs.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: repo root — machine-readable bench artifacts (BENCH_*.json) land here
+REPO_ROOT = Path(__file__).parent.parent
 
 FULL = os.environ.get("REPRO_FULL", "") == "1"
 
@@ -27,6 +33,32 @@ def record(name: str, lines: list[str]) -> None:
     text = "\n".join(lines)
     print(f"\n{text}\n")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def write_bench_json(name: str, data: dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root in the one canonical
+    schema every machine-readable bench artifact shares::
+
+        {"bench": <name>, "schema_version": 1, "created_unix": ...,
+         "host": {"platform": ..., "python": ..., "cpus": ...},
+         "data": <bench-specific payload>}
+
+    Returns the path written."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "schema_version": 1,
+        "created_unix": int(time.time()),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "data": data,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+    return path
 
 
 def one_shot(benchmark, fn):

@@ -1,0 +1,239 @@
+"""Parallel replay scaling: wall-clock vs worker count (jobs=1,2,4,8).
+
+Two legs:
+
+* **matmult** (the paper's Fig. 6 workload, k=0): one verification's
+  guided replays dispatched onto the replay worker pool — the frontier
+  under k=0 is a single embarrassingly-parallel wave, so this is the
+  best case for replay-level scaling.
+* **ParMETIS** (the paper's Table I workload): a campaign of independent
+  (nprocs,) cells dispatched onto the campaign pool — coarse-grained
+  cell-level scaling for a deterministic program with no replays.
+
+Methodology: a replay's cost is pure compute, so its *measured* speedup
+is capped by the physical core count of the machine running the bench
+(CI containers often expose one core).  The bench therefore reports two
+curves per leg:
+
+* ``modeled``: a discrete-event replay of the executor's own wave
+  discipline (:func:`repro.dampi.parallel.simulate_wave_schedule`) over
+  the per-replay durations and frontier windows logged by an
+  instrumented serial run — the machine-independent scaling signal, in
+  the same spirit as the repo's virtual-time benchmarking;
+* ``measured``: real wall-clock of an actual pool run at each jobs
+  count, honest about whatever hardware is underneath.
+
+The modeled jobs=1 wall equals the serial replay wall by construction;
+speedup(J) = modeled(1) / modeled(J).  On a machine with >= J cores the
+measured curve tracks the modeled one.
+
+Every pool run is also checked bit-identical to the serial report — the
+scaling never buys a different answer.
+
+Artifacts: ``benchmarks/results/parallel_scaling.txt`` (human-readable)
+and ``BENCH_parallel_scaling.json`` at the repo root (canonical schema,
+see :func:`benchmarks._util.write_bench_json`).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+if __package__ in (None, ""):  # `python benchmarks/bench_parallel_scaling.py`
+    sys.path.insert(0, str(Path(__file__).parent.parent))
+
+import pytest
+
+from repro.dampi.campaign import run_campaign
+from repro.dampi.config import DampiConfig
+from repro.dampi.parallel import (
+    ReplayExecutor,
+    ReplaySpec,
+    simulate_wave_schedule,
+)
+from repro.dampi.verifier import DampiVerifier
+from repro.workloads.matmult import matmult_program
+from repro.workloads.parmetis import parmetis_program
+
+from benchmarks._util import FULL, one_shot, record, write_bench_json
+
+JOBS_GRID = (1, 2, 4, 8)
+
+MM_NPROCS = 8
+MM_KW = {"n": 8, "blocks_per_slave": 4 if FULL else 3}  # >= 100 interleavings
+MM_CFG = DampiConfig(bound_k=0, enable_monitor=False, enable_leak_check=False)
+
+PM_NPROCS = (4, 8, 12, 16)
+PM_KW = {"scale": 0.25 if FULL else 0.05}
+PM_CFG = DampiConfig(bound_k=0, enable_monitor=False, enable_leak_check=False)
+
+
+def _fingerprint(report):
+    return (
+        report.interleavings,
+        [r.flip for r in report.runs if "crash" not in r.error_kinds],
+        sorted(map(sorted, report.outcomes)),
+        sorted((e.kind, e.detail) for e in report.errors),
+    )
+
+
+def _instrumented_serial():
+    """Serial verification that logs per-replay durations and the frontier
+    window at every step — the input to the work/span model."""
+    verifier = DampiVerifier(matmult_program, MM_NPROCS, MM_CFG, kwargs=MM_KW)
+    spec = ReplaySpec(
+        DampiVerifier, matmult_program, MM_NPROCS, MM_CFG, kwargs=MM_KW
+    )
+    executor = ReplayExecutor(
+        spec, jobs=1, inline_runner=verifier.run_once, trace_waves=2 * max(JOBS_GRID)
+    )
+    t0 = time.perf_counter()
+    report = verifier.verify(executor=executor)
+    wall = time.perf_counter() - t0
+    return report, executor, wall
+
+
+def run_matmult_leg():
+    report1, ex, serial_wall = _instrumented_serial()
+    replay_wall = sum(ex.consumed_seconds)  # modeled(1): replays only
+    modeled = {
+        j: simulate_wave_schedule(
+            ex.consumed_keys, ex.consumed_seconds, ex.wave_log, jobs=j
+        )
+        for j in JOBS_GRID
+    }
+    measured, stats = {1: serial_wall}, {}
+    for j in JOBS_GRID[1:]:
+        cfg = replace(MM_CFG, jobs=j)
+        t0 = time.perf_counter()
+        rep = DampiVerifier(matmult_program, MM_NPROCS, cfg, kwargs=MM_KW).verify()
+        measured[j] = time.perf_counter() - t0
+        stats[j] = rep.parallel_stats
+        assert _fingerprint(rep) == _fingerprint(report1), (
+            f"jobs={j} report differs from serial"
+        )
+    return {
+        "interleavings": report1.interleavings,
+        "serial_wall_seconds": serial_wall,
+        "serial_replay_seconds": replay_wall,
+        "modeled_wall_seconds": modeled,
+        "measured_wall_seconds": measured,
+        "modeled_speedup": {j: modeled[1] / modeled[j] for j in JOBS_GRID},
+        "measured_speedup": {j: measured[1] / measured[j] for j in JOBS_GRID},
+        "pool_stats": stats,
+    }
+
+
+def run_parmetis_leg():
+    cells = [(np_, PM_CFG) for np_ in PM_NPROCS]
+    durations = []
+    t0 = time.perf_counter()
+    for np_, cfg in cells:
+        t1 = time.perf_counter()
+        DampiVerifier(parmetis_program, np_, cfg, kwargs=PM_KW).verify()
+        durations.append(time.perf_counter() - t1)
+    serial_wall = time.perf_counter() - t0
+
+    def makespan(jobs):
+        # the campaign pool's discipline: cells to the earliest-free worker
+        # in submission order
+        workers = [0.0] * jobs
+        for d in durations:
+            workers[workers.index(min(workers))] += d
+        return max(workers)
+
+    modeled = {j: makespan(j) for j in JOBS_GRID}
+    configs = {"k0": PM_CFG}
+    t0 = time.perf_counter()
+    pooled = run_campaign(
+        parmetis_program, list(PM_NPROCS), configs, kwargs=PM_KW, jobs=2
+    )
+    measured2 = time.perf_counter() - t0
+    serial = run_campaign(
+        parmetis_program, list(PM_NPROCS), configs, kwargs=PM_KW, jobs=1
+    )
+    assert [_fingerprint(c.report) for c in pooled.cells] == [
+        _fingerprint(c.report) for c in serial.cells
+    ], "pooled campaign differs from serial sweep"
+    return {
+        "cells": [
+            {"nprocs": np_, "seconds": d} for np_, d in zip(PM_NPROCS, durations)
+        ],
+        "serial_wall_seconds": serial_wall,
+        "modeled_wall_seconds": modeled,
+        "modeled_speedup": {j: modeled[1] / modeled[j] for j in JOBS_GRID},
+        "measured_jobs2_wall_seconds": measured2,
+    }
+
+
+def run_scaling():
+    return {"matmult": run_matmult_leg(), "parmetis": run_parmetis_leg()}
+
+
+def _report(data) -> list[str]:
+    mm, pm = data["matmult"], data["parmetis"]
+    lines = [
+        "Parallel replay scaling (modeled = executor wave discipline on J "
+        "dedicated workers; measured = this machine, "
+        f"{os.cpu_count()} core(s))",
+        "",
+        f"matmult {MM_NPROCS} procs, k=0, "
+        f"{mm['interleavings']} interleavings:",
+        f"{'jobs':>6} | {'modeled (s)':>12} | {'speedup':>8} | {'measured (s)':>13}",
+    ]
+    for j in JOBS_GRID:
+        lines.append(
+            f"{j:>6} | {mm['modeled_wall_seconds'][j]:12.3f} | "
+            f"{mm['modeled_speedup'][j]:7.2f}x | "
+            f"{mm['measured_wall_seconds'][j]:13.3f}"
+        )
+    lines += [
+        "",
+        f"ParMETIS campaign cells (nprocs = {', '.join(map(str, PM_NPROCS))}):",
+        f"{'jobs':>6} | {'modeled (s)':>12} | {'speedup':>8}",
+    ]
+    for j in JOBS_GRID:
+        lines.append(
+            f"{j:>6} | {pm['modeled_wall_seconds'][j]:12.3f} | "
+            f"{pm['modeled_speedup'][j]:7.2f}x"
+        )
+    lines.append(
+        "every pool run verified bit-identical to its serial counterpart"
+    )
+    return lines
+
+
+def _check(data):
+    mm = data["matmult"]
+    assert mm["interleavings"] >= 100, "workload too small to say anything"
+    assert mm["modeled_speedup"][4] >= 2.0, (
+        f"expected >=2x modeled speedup at jobs=4, got "
+        f"{mm['modeled_speedup'][4]:.2f}x"
+    )
+    assert mm["modeled_speedup"][8] >= mm["modeled_speedup"][4] >= mm[
+        "modeled_speedup"
+    ][2], "speedup must be monotone in workers"
+    if (os.cpu_count() or 1) >= 4:
+        assert mm["measured_speedup"][4] >= 1.5, (
+            "4 real cores should show real speedup"
+        )
+    assert data["parmetis"]["modeled_speedup"][2] >= 1.3
+
+
+@pytest.mark.slow
+def test_parallel_scaling(benchmark):
+    data = one_shot(benchmark, run_scaling)
+    _check(data)
+    record("parallel_scaling", _report(data))
+    write_bench_json("parallel_scaling", data)
+
+
+if __name__ == "__main__":
+    data = run_scaling()
+    _check(data)
+    record("parallel_scaling", _report(data))
+    write_bench_json("parallel_scaling", data)

@@ -71,6 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="wildcard match policy for SELF_RUN (arrival|lowest_rank|"
             "highest_rank|random:<seed>)",
         )
+        p.add_argument(
+            "--jobs",
+            "-j",
+            type=int,
+            default=1,
+            metavar="N",
+            help="replay worker processes (0 = all cores; default 1 = serial; "
+            "the report is identical either way)",
+        )
 
     v = sub.add_parser("verify", help="explore the wildcard match space")
     common(v)
@@ -159,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _jobs_arg(args):
+    """``--jobs 0`` means "all cores" (DampiConfig spells that None)."""
+    return None if args.jobs == 0 else args.jobs
+
+
 def cmd_verify(args) -> int:
     program = resolve_program(args.program)
     kwargs = json.loads(args.kwargs)
@@ -169,6 +183,7 @@ def cmd_verify(args) -> int:
         max_interleavings=args.max_interleavings,
         max_seconds=args.max_seconds,
         policy=args.policy,
+        jobs=_jobs_arg(args),
         enable_monitor=not args.no_monitor,
         enable_leak_check=not args.no_leak_check,
         artifacts_dir=args.artifacts_dir,
@@ -199,7 +214,9 @@ def cmd_escalate(args) -> int:
     result = escalating_verify(
         program,
         args.nprocs,
-        base_config=DampiConfig(clock_impl=args.clock, policy=args.policy),
+        base_config=DampiConfig(
+            clock_impl=args.clock, policy=args.policy, jobs=_jobs_arg(args)
+        ),
         run_budget=args.run_budget,
         stop_on_error=not args.keep_going,
         kwargs=json.loads(args.kwargs),

@@ -18,6 +18,7 @@ module turns that workflow into an API:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
@@ -80,6 +81,14 @@ class EscalationResult:
         return "\n".join(lines)
 
 
+def _covers(k_done: Optional[int], k_next: Optional[int]) -> bool:
+    """Does a completed stage at bound ``k_done`` cover a stage at
+    ``k_next``?  (``None`` = unbounded = covers everything.)"""
+    if k_done is None:
+        return True
+    return k_next is not None and k_next <= k_done
+
+
 def escalating_verify(
     program: Callable,
     nprocs: int,
@@ -88,18 +97,41 @@ def escalating_verify(
     run_budget: int = 2000,
     stop_on_error: bool = True,
     kwargs: Optional[dict] = None,
+    jobs: Optional[int] = None,
 ) -> EscalationResult:
     """Widen bounded mixing stage by stage (paper §III-B2's workflow).
 
-    Each stage gets whatever remains of ``run_budget``; escalation stops
-    when an error is found (if ``stop_on_error``), when a stage covers its
-    space without truncation at unbounded k (full coverage achieved), or
-    when the budget is gone.
+    Budget semantics: ``run_budget`` is a cap on *executed* interleavings
+    summed across stages — each stage's self run included, since the
+    stage really executes it.  A stage is charged only if it runs:
+    stages whose search space is provably already covered are skipped
+    without spending anything.  That happens in two cases:
+
+    * an earlier stage finished untruncated at the same or a wider bound
+      (possible with custom non-increasing ``ks``), or
+    * the previous stage finished untruncated with ``bound_frozen == 0``
+      — its bound never froze a single node, so it *was* the unbounded
+      walk and no wider ``k`` (nor the unbounded stage) can explore more.
+      Escalation then stops immediately with "full space covered"; this
+      is what keeps deterministic programs at exactly one self run
+      instead of one per stage.
+
+    Escalation also stops when an error is found (if ``stop_on_error``),
+    when the unbounded stage covers its space without truncation, or when
+    the budget is gone.  ``jobs`` (when not None) overrides the replay
+    parallelism of every stage's config (see :class:`DampiConfig.jobs`);
+    stages themselves are inherently sequential — each widens the last.
     """
     base = base_config or DampiConfig()
+    if jobs is not None:
+        base = replace(base, jobs=jobs)
     result = EscalationResult()
     remaining = run_budget
+    covered_k: Optional[int] = None  # widest bound fully covered so far
+    have_covered = False
     for k in ks:
+        if have_covered and _covers(covered_k, k):
+            continue  # already covered at the same or a wider bound: skip
         if remaining <= 0:
             result.stopped_reason = "run budget exhausted"
             return result
@@ -110,9 +142,12 @@ def escalating_verify(
         if stop_on_error and report.errors:
             result.stopped_reason = f"error found at {result.steps[-1].label}"
             return result
-        if k is None and not report.truncated:
-            result.stopped_reason = "full space covered"
-            return result
+        if not report.truncated:
+            if k is None or report.bound_frozen == 0:
+                result.stopped_reason = "full space covered"
+                return result
+            if not have_covered or not _covers(covered_k, k):
+                have_covered, covered_k = True, k
     result.stopped_reason = "all stages ran"
     return result
 
@@ -161,25 +196,71 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _run_campaign_cell(
+    program: Callable, nprocs: int, cfg: DampiConfig, kwargs: Optional[dict]
+) -> VerificationReport:
+    """Worker entry point for one (nprocs, config) cell."""
+    return DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
+
+
 def run_campaign(
     program: Callable,
     nprocs_list: Sequence[int],
     configs: Optional[dict[str, DampiConfig]] = None,
     kwargs: Optional[dict] = None,
+    jobs: Optional[int] = 1,
 ) -> CampaignResult:
     """Verify across a (process count × configuration) grid.
 
     Default configurations: a quick ``k=0`` pass and a capped unbounded
     pass — the cheap-then-thorough pairing most sessions want.
+
+    Cells are fully independent verifications, so with ``jobs > 1``
+    (``None`` = ``os.cpu_count()``) they are dispatched onto one shared
+    worker pool; each pooled cell runs its own replays in-process
+    (``jobs=1``) to avoid nested pools.  Cell order — and therefore the
+    result — is identical to the serial sweep.  Unpicklable programs fall
+    back to the serial sweep automatically.
     """
     if configs is None:
         configs = {
             "quick-k0": DampiConfig(bound_k=0, max_interleavings=500),
             "full-capped": DampiConfig(max_interleavings=2000),
         }
+    grid = [
+        (nprocs, name, cfg)
+        for nprocs in nprocs_list
+        for name, cfg in configs.items()
+    ]
     result = CampaignResult()
-    for nprocs in nprocs_list:
-        for name, cfg in configs.items():
-            report = DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
-            result.cells.append(CampaignCell(nprocs, name, report))
+    njobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if njobs > 1 and len(grid) > 1 and _cells_picklable(program, configs, kwargs):
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+        with ProcessPoolExecutor(max_workers=njobs, mp_context=ctx) as pool:
+            futures = [
+                pool.submit(
+                    _run_campaign_cell, program, nprocs, replace(cfg, jobs=1), kwargs
+                )
+                for nprocs, _, cfg in grid
+            ]
+            for (nprocs, name, _), fut in zip(grid, futures):
+                result.cells.append(CampaignCell(nprocs, name, fut.result()))
+        return result
+    for nprocs, name, cfg in grid:
+        report = DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
+        result.cells.append(CampaignCell(nprocs, name, report))
     return result
+
+
+def _cells_picklable(program, configs, kwargs) -> bool:
+    import pickle
+
+    try:
+        pickle.dumps((program, configs, kwargs))
+        return True
+    except Exception:
+        return False

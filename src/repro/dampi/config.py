@@ -34,6 +34,24 @@ class DampiConfig:
         deep.
     max_interleavings / max_seconds:
         Hard budget guards; the report flags truncation.
+    jobs:
+        Replay parallelism.  ``1`` (the default) replays in-process,
+        serially.  ``N > 1`` runs guided replays on a pool of ``N``
+        worker processes via :mod:`repro.dampi.parallel`; ``None`` uses
+        ``os.cpu_count()``.  The report is bit-identical to ``jobs=1``
+        (the pool only *pre-computes* the schedules the serial walk
+        requests).  Falls back to in-process execution automatically when
+        the program is unpicklable.
+    job_timeout_seconds:
+        Per-replay wall-clock timeout in pool mode; a worker exceeding it
+        (or dying) is reported as a ``crash`` defect with its witness
+        schedule instead of hanging the session.  ``None`` disables.
+    outcome_dedup:
+        When True, a replay that lands on an already-witnessed
+        completed-wildcard outcome is recorded but does not seed fresh
+        decision nodes — cutting redundant runs on loop-heavy /
+        divergence-heavy workloads at the cost of exhaustiveness
+        guarantees on the deduplicated suffixes.
     policy / mode / cost_model:
         Substrate knobs (wildcard match policy for SELF_RUN portions,
         scheduling mode, virtual-time constants).
@@ -59,6 +77,9 @@ class DampiConfig:
     auto_loop_threshold: Optional[int] = None
     max_interleavings: Optional[int] = None
     max_seconds: Optional[float] = None
+    jobs: Optional[int] = 1
+    job_timeout_seconds: Optional[float] = None
+    outcome_dedup: bool = False
     policy: str = "arrival"
     mode: str = "run_to_block"
     cost_model: CostModel = field(default_factory=CostModel)
@@ -81,3 +102,7 @@ class DampiConfig:
             raise ValueError("bound_k must be None or >= 0")
         if self.auto_loop_threshold is not None and self.auto_loop_threshold < 1:
             raise ValueError("auto_loop_threshold must be None or >= 1")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be None (= cpu_count) or >= 1")
+        if self.job_timeout_seconds is not None and self.job_timeout_seconds <= 0:
+            raise ValueError("job_timeout_seconds must be None or > 0")

@@ -91,6 +91,12 @@ class ScheduleGenerator:
         self.divergences = 0
         self.frozen_created = 0
         self.auto_frozen_total = 0
+        #: nodes frozen *specifically* by the bounded-mixing distance rule.
+        #: When a run with ``bound_k=K`` finishes untruncated with this
+        #: counter at zero, the bound never bit: the K-bounded walk was the
+        #: unbounded walk, and no wider bound can find more (campaigns use
+        #: this to stop escalating early).
+        self.distance_frozen = 0
 
     # -- run-0 ----------------------------------------------------------------
 
@@ -135,6 +141,7 @@ class ScheduleGenerator:
                 and pos > self.bound_k
             ):
                 frozen = True
+                self.distance_frozen += 1
             if frozen:
                 self.frozen_created += 1
             chosen = e.matched_source if e.matched_source is not None else -1
@@ -171,8 +178,58 @@ class ScheduleGenerator:
             return EpochDecisions(forced=forced, flip=node.key)
         return None
 
-    def integrate(self, trace: RunTrace) -> None:
-        """Fold a replay's trace into the search state."""
+    def next_decision_batch(self, width: int) -> list[EpochDecisions]:
+        """Up to ``width`` *pending* schedules the serial walk is going to
+        request, without mutating the DFS state — the frontier wave a
+        parallel executor can precompute.
+
+        The first element is exactly what the next :meth:`next_decisions`
+        call will return.  The remaining elements are the untried sibling
+        alternatives of the deepest open node: they share its prefix, so
+        they are mutually independent, and because nodes shallower than a
+        flip keep their chosen source until the flip's whole subtree is
+        exhausted, each sibling schedule is *bit-identical* to the one the
+        serial walk will eventually emit for that alternative.  Under
+        ``bound_k=0`` every replay's fresh nodes are frozen, so the flips
+        of *every* open node are one embarrassingly-parallel wave and the
+        batch roams the whole path.
+
+        Returns ``[]`` exactly when :meth:`next_decisions` would return
+        ``None``.
+        """
+        out: list[EpochDecisions] = []
+        for i in range(len(self.path) - 1, -1, -1):
+            node = self.path[i]
+            if node.frozen or not node.untried:
+                continue
+            base = {n.key: n.chosen for n in self.path[:i] if n.chosen >= 0}
+            for alt in sorted(node.untried):
+                forced = dict(base)
+                forced[node.key] = alt
+                out.append(EpochDecisions(forced=forced, flip=node.key))
+                if len(out) >= width:
+                    return out
+            if self.bound_k != 0:
+                # with mixing allowed, only the deepest node's siblings are
+                # provably schedules the serial walk will ask for verbatim
+                break
+        return out
+
+    def abandon(self) -> None:
+        """Drop the pending flip without a trace (the replay was lost to a
+        worker crash/timeout): the alternative stays tried so it is never
+        re-emitted, and the path is left untouched."""
+        self._flip_index = None
+
+    def integrate(self, trace: RunTrace, seed_fresh: bool = True) -> None:
+        """Fold a replay's trace into the search state.
+
+        ``seed_fresh=False`` records the replay's effect on the *prefix*
+        (newly discovered alternatives) but does not seed fresh decision
+        nodes from its suffix — the outcome-dedup path for replays that
+        landed on an already-witnessed wildcard outcome, whose suffix
+        space has by definition already been seeded once.
+        """
         if self._flip_index is None:
             raise RuntimeError("integrate() without a preceding next_decisions()")
         i = self._flip_index
@@ -186,6 +243,9 @@ class ScheduleGenerator:
         for node in prefix:
             if not node.frozen:
                 node.alternatives |= alts.get(node.key, set())
+        if not seed_fresh:
+            self.path = prefix
+            return
         fresh_epochs = [e for e in trace.all_epochs() if e.key not in prefix_keys]
         fresh = self._nodes_from_epochs(trace, fresh_epochs, distance_from=i)
         self.path = prefix + fresh

@@ -1,0 +1,350 @@
+"""Parallel replay execution: frontier waves over a worker pool.
+
+Replays with disjoint decision prefixes are embarrassingly parallel — the
+observation behind every distributed dynamic verifier (and behind the
+paper's own design goal of coverage "as fast as the hardware allows").
+This module supplies the executor half of that story; the schedule half
+lives in :meth:`repro.dampi.explorer.ScheduleGenerator.next_decision_batch`.
+
+Design: the *serial* DFS loop in :meth:`DampiVerifier.verify` stays the
+single source of truth.  Each iteration it asks the generator for the
+frontier wave — the pending schedules the walk is provably going to
+request — and hands the wave to a :class:`ReplayExecutor`.  In pool mode
+the executor runs the wave's ``run_once`` jobs on worker processes and
+memoises ``(result, trace)`` per schedule; the loop then *consumes* its
+next schedule from the cache (blocking only on true cache misses).
+Because replays are deterministic functions of their decision file, the
+consumed traces — and therefore the DFS state, the run order, and the
+final :class:`VerificationReport` — are bit-identical to ``jobs=1``.
+Speculative replays that are never requested (budget truncation, newly
+discovered alternatives reshaping the frontier) are simply discarded.
+
+Degradation paths, in order:
+
+* ``jobs=1`` or an unpicklable program/config → in-process serial
+  execution (the pre-parallel behaviour, exactly);
+* a worker that dies (`BrokenProcessPool`) → the lost replay is reported
+  as a ``crash`` defect with its witness schedule, the pool is abandoned,
+  and the session continues in-process;
+* a worker that exceeds ``job_timeout_seconds`` → same ``crash`` report
+  for that replay, pool kept for the rest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.dampi.decisions import EpochDecisions
+
+#: schedules speculated ahead per wave, as a multiple of the worker count —
+#: enough to hide consume latency without unbounded speculative waste
+WAVE_DEPTH = 2
+
+#: canonical, hashable identity of a guided schedule
+ScheduleKey = tuple
+
+
+def schedule_key(decisions: EpochDecisions) -> ScheduleKey:
+    """Canonical identity of a guided schedule (its forced map + flip)."""
+    return (decisions.flip, tuple(sorted(decisions.forced.items())))
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Everything a worker needs to rebuild the verifier and run one replay."""
+
+    verifier_cls: type
+    program: Callable
+    nprocs: int
+    config: Any  # DampiConfig; typed loosely to avoid an import cycle
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    ctor_extra: dict = field(default_factory=dict)
+
+    def picklable(self) -> bool:
+        try:
+            pickle.dumps(self)
+            return True
+        except Exception:
+            return False
+
+
+def _execute_replay(spec: ReplaySpec, decisions: EpochDecisions):
+    """Worker entry point: one guided replay, timed."""
+    verifier = spec.verifier_cls(
+        spec.program,
+        spec.nprocs,
+        spec.config,
+        args=spec.args,
+        kwargs=spec.kwargs,
+        **spec.ctor_extra,
+    )
+    t0 = time.perf_counter()
+    result, trace = verifier.run_once(decisions)
+    return result, trace, time.perf_counter() - t0
+
+
+@dataclass
+class ReplayOutcome:
+    """One consumed replay: a (result, trace) pair or a worker failure."""
+
+    result: Any = None
+    trace: Any = None
+    duration: float = 0.0
+    #: True when the schedule was not yet computed at consumption time
+    miss: bool = True
+    #: human-readable reason when the worker crashed or timed out
+    failure: Optional[str] = None
+
+
+class ReplayExecutor:
+    """Runs guided replays, optionally on a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    spec:
+        The job payload template (program, config, ...).
+    jobs:
+        Worker count; ``None`` = ``os.cpu_count()``; ``1`` = in-process.
+    timeout:
+        Per-replay wall-clock limit in pool mode (None = unlimited).
+    inline_runner:
+        ``run_once``-shaped callable used for in-process execution (kept
+        identical to the serial verifier's own path).
+    trace_waves:
+        When > 0, log each consumption step's frontier window (that many
+        schedules wide) even in serial mode — the input the scaling bench
+        feeds its work/span simulation.
+    """
+
+    def __init__(
+        self,
+        spec: ReplaySpec,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        inline_runner: Optional[Callable] = None,
+        trace_waves: int = 0,
+    ):
+        self.spec = spec
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.timeout = timeout
+        self._inline_runner = inline_runner
+        self._trace_width = trace_waves
+        self.parallel = self.jobs > 1 and spec.picklable()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: dict[ScheduleKey, Any] = {}
+        self._done: dict[ScheduleKey, ReplayOutcome] = {}
+        # -- observability ----------------------------------------------------
+        self.submitted = 0
+        self.hits = 0
+        self.misses = 0
+        self.failures = 0
+        self.wasted = 0
+        self.demoted = False
+        self.consumed_keys: list[ScheduleKey] = []
+        self.consumed_seconds: list[float] = []
+        self.miss_flags: list[bool] = []
+        self.wave_log: list[list[ScheduleKey]] = []
+
+    # -- sizing ---------------------------------------------------------------
+
+    @property
+    def wave_width(self) -> int:
+        """How many pending schedules verify() should ask the generator
+        for each iteration (0 = don't bother computing a batch)."""
+        if self._trace_width:
+            return self._trace_width
+        return WAVE_DEPTH * self.jobs if self.parallel else 0
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing as mp
+
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+        return self._pool
+
+    def _demote(self) -> None:
+        """Abandon the pool and run the rest of the session in-process."""
+        self.parallel = False
+        self.demoted = True
+        self.wasted += len(self._futures)
+        self._futures.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        self.wasted += len(self._futures) + len(self._done)
+        self._futures.clear()
+        self._done.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- execution ------------------------------------------------------------
+
+    def _submit(self, decisions: EpochDecisions) -> None:
+        key = schedule_key(decisions)
+        if key in self._futures or key in self._done:
+            return
+        pool = self._ensure_pool()
+        try:
+            self._futures[key] = pool.submit(_execute_replay, self.spec, decisions)
+            self.submitted += 1
+        except Exception:  # pool already broken/shut down
+            self._demote()
+
+    def run(
+        self, decisions: EpochDecisions, batch: Sequence[EpochDecisions] = ()
+    ) -> ReplayOutcome:
+        """Consume one schedule, pre-submitting its frontier wave first."""
+        if self._trace_width:
+            self.wave_log.append([schedule_key(d) for d in batch])
+        if self.parallel:
+            for d in batch:
+                if not self.parallel:  # a submit may demote mid-wave
+                    break
+                self._submit(d)
+        out = self._take(decisions) if self.parallel else self._run_inline(decisions)
+        self.consumed_keys.append(schedule_key(decisions))
+        self.consumed_seconds.append(out.duration)
+        self.miss_flags.append(out.miss)
+        if out.failure is not None:
+            self.failures += 1
+        elif out.miss:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return out
+
+    def _run_inline(self, decisions: EpochDecisions) -> ReplayOutcome:
+        runner = self._inline_runner
+        if runner is None:
+            runner = lambda d: _execute_replay(self.spec, d)[:2]  # noqa: E731
+        t0 = time.perf_counter()
+        result, trace = runner(decisions)
+        return ReplayOutcome(result, trace, time.perf_counter() - t0, miss=True)
+
+    def _take(self, decisions: EpochDecisions) -> ReplayOutcome:
+        key = schedule_key(decisions)
+        done = self._done.pop(key, None)
+        if done is not None:
+            return done
+        fut = self._futures.pop(key, None)
+        if fut is None:
+            self._submit(decisions)
+            fut = self._futures.pop(key, None)
+            if fut is None:  # submission demoted us — run in-process
+                return self._run_inline(decisions)
+        miss = not fut.done()
+        try:
+            result, trace, duration = fut.result(timeout=self.timeout)
+            out = ReplayOutcome(result, trace, duration, miss=miss)
+        except FutureTimeoutError:
+            fut.cancel()
+            out = ReplayOutcome(
+                miss=miss,
+                failure=(
+                    f"replay worker exceeded {self.timeout}s "
+                    f"replaying flip {decisions.flip}"
+                ),
+            )
+        except BrokenProcessPool:
+            out = ReplayOutcome(
+                miss=miss,
+                failure=f"replay worker died replaying flip {decisions.flip}",
+            )
+            self._demote()
+        except Exception as e:  # unpicklable result, worker-side import error...
+            out = ReplayOutcome(
+                miss=miss,
+                failure=(
+                    f"replay worker failed replaying flip {decisions.flip}: "
+                    f"{type(e).__name__}: {e}"
+                ),
+            )
+        # harvest any sibling futures that completed while we waited, so the
+        # cache (not the futures map) carries them and close() accounting of
+        # still-running work stays accurate
+        for k, f in list(self._futures.items()):
+            if f.done():
+                del self._futures[k]
+                try:
+                    r, t, d = f.result()
+                    self._done[k] = ReplayOutcome(r, t, d, miss=False)
+                except Exception:
+                    pass  # surfaced as a miss-with-failure if ever consumed
+        return out
+
+    # -- accounting -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "mode": "pool" if (self.parallel or self.demoted) else "inline",
+            "jobs": self.jobs,
+            "wave_width": self.wave_width,
+            "submitted": self.submitted,
+            "consumed": len(self.consumed_keys),
+            "hits": self.hits,
+            "misses": self.misses,
+            "failures": self.failures,
+            "wasted": self.wasted,
+            "demoted": self.demoted,
+        }
+
+
+def simulate_wave_schedule(
+    consumed_keys: Sequence[ScheduleKey],
+    consumed_seconds: Sequence[float],
+    wave_log: Sequence[Sequence[ScheduleKey]],
+    jobs: int,
+    wave_depth: int = WAVE_DEPTH,
+) -> float:
+    """Modeled wall-clock of the executor on ``jobs`` dedicated workers.
+
+    A discrete-event replay of the executor's discipline over the frontier
+    windows and per-run durations logged by a ``trace_waves`` session:
+    at each consumption step the first ``wave_depth * jobs`` schedules of
+    the logged window are submitted to the earliest-free worker, then the
+    clock joins the consumed schedule's completion.  Durations of
+    schedules that were speculated but never consumed fall back to the
+    mean consumed duration.  ``jobs=1`` reproduces the serial wall-clock;
+    the ratio to larger ``jobs`` is the machine-independent scaling curve
+    (measured wall-clock matches it when that many cores actually exist).
+    """
+    durations = dict(zip(consumed_keys, consumed_seconds))
+    mean = (
+        sum(consumed_seconds) / len(consumed_seconds) if consumed_seconds else 0.0
+    )
+    width = max(1, wave_depth * jobs)
+    free = [0.0] * jobs
+    heapq.heapify(free)
+    finish: dict[ScheduleKey, float] = {}
+    clock = 0.0
+    for step, key in enumerate(consumed_keys):
+        window = wave_log[step] if step < len(wave_log) else [key]
+        for k in list(window[:width]) or [key]:
+            if k in finish:
+                continue
+            start = max(clock, heapq.heappop(free))
+            done = start + durations.get(k, mean)
+            heapq.heappush(free, done)
+            finish[k] = done
+        if key not in finish:  # cache miss outside the logged window
+            start = max(clock, heapq.heappop(free))
+            finish[key] = start + durations.get(key, mean)
+            heapq.heappush(free, finish[key])
+        clock = max(clock, finish[key])
+    return clock

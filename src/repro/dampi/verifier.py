@@ -21,6 +21,7 @@ from repro.dampi.epoch import EpochKey, RunTrace
 from repro.dampi.explorer import ScheduleGenerator
 from repro.dampi.leaks import LeakCheckModule, LeakReport
 from repro.dampi.monitor import MonitorReport, OmissionMonitorModule
+from repro.dampi.parallel import ReplayExecutor, ReplaySpec
 from repro.dampi.piggyback import PiggybackModule
 from repro.errors import DeadlockError
 from repro.mpi.runtime import Runtime, RunResult
@@ -39,6 +40,16 @@ class FoundError:
     def __str__(self) -> str:
         where = "self run" if self.run_index == 0 else f"replay {self.run_index}"
         return f"[{self.kind}] in {where}: {self.detail}"
+
+
+def completed_outcome(trace: RunTrace) -> frozenset:
+    """The semantic fingerprint of one interleaving: every completed
+    wildcard epoch paired with the source it matched."""
+    return frozenset(
+        (e.key, e.matched_source)
+        for e in trace.all_epochs()
+        if e.matched_source is not None
+    )
 
 
 @dataclass
@@ -72,6 +83,12 @@ class VerificationReport:
     wall_seconds: float = 0.0
     truncated: bool = False
     divergences: int = 0
+    #: decision nodes frozen by the bounded-mixing distance rule; 0 on an
+    #: untruncated run means the bound never bit and the space is fully
+    #: covered (no wider bound can find more)
+    bound_frozen: int = 0
+    #: replay-executor counters (mode, waves, cache hits/misses, ...)
+    parallel_stats: Optional[dict] = None
     runs: list[RunRecord] = field(default_factory=list)
     traces: list[RunTrace] = field(default_factory=list)
 
@@ -118,7 +135,7 @@ class VerificationReport:
         import json
 
         payload = {
-            "version": 1,
+            "version": 2,
             "nprocs": self.nprocs,
             "clock_impl": self.config.clock_impl,
             "bound_k": self.config.bound_k,
@@ -128,6 +145,7 @@ class VerificationReport:
             "distinct_outcomes": len(self.outcomes),
             "self_run_vtime": self.self_run_vtime,
             "total_vtime": self.total_vtime,
+            "wall_seconds": self.wall_seconds,
             "divergences": self.divergences,
             "monitor_alerts": (
                 len(self.monitor_report) if self.monitor_report else 0
@@ -152,6 +170,7 @@ class VerificationReport:
                     "errors": list(r.error_kinds),
                     "diverged": r.diverged,
                     "makespan": r.makespan,
+                    "wildcard_count": r.wildcard_count,
                 }
                 for r in self.runs
             ],
@@ -254,9 +273,41 @@ class DampiVerifier:
         trace = result.artifacts["dampi"]
         return result, trace
 
-    def verify(self) -> VerificationReport:
+    # -- parallel plumbing --------------------------------------------------------
+
+    def _spec_extra(self) -> dict:
+        """Extra constructor kwargs a replay worker must pass to rebuild
+        this verifier (subclasses with additional state override)."""
+        return {}
+
+    def _make_executor(self) -> ReplayExecutor:
+        spec = ReplaySpec(
+            verifier_cls=type(self),
+            program=self.program,
+            nprocs=self.nprocs,
+            config=self.config,
+            args=self.args,
+            kwargs=self.kwargs,
+            ctor_extra=self._spec_extra(),
+        )
+        return ReplayExecutor(
+            spec,
+            jobs=self.config.jobs,
+            timeout=self.config.job_timeout_seconds,
+            inline_runner=self.run_once,
+        )
+
+    def verify(self, executor: Optional[ReplayExecutor] = None) -> VerificationReport:
         """The full coverage loop: self run + guided replays to exhaustion
-        (or to the configured bounds)."""
+        (or to the configured bounds).
+
+        The loop itself is serial — it is the DFS of paper §II-B — but
+        replay *execution* is delegated to a :class:`ReplayExecutor` built
+        from ``config.jobs`` (or passed in by benchmarks), which may
+        pre-compute the frontier wave on a worker pool.  Reports are
+        bit-identical across ``jobs`` settings; see
+        :mod:`repro.dampi.parallel`.
+        """
         cfg = self.config
         report = VerificationReport(nprocs=self.nprocs, config=cfg)
         started = time.perf_counter()
@@ -279,28 +330,79 @@ class DampiVerifier:
         report.leak_report = result.artifacts.get("leaks")
         report.monitor_report = result.artifacts.get("monitor")
         generator.seed(trace)
+        if executor is None:
+            executor = self._make_executor()
+        witnessed_outcomes: set[frozenset] = {report.runs[0].outcome}
 
         run_index = 0
-        while True:
-            if cfg.max_interleavings is not None and report.interleavings >= cfg.max_interleavings:
-                report.truncated = not generator.exhausted
-                break
-            if cfg.max_seconds is not None and time.perf_counter() - started > cfg.max_seconds:
-                report.truncated = not generator.exhausted
-                break
-            decisions = generator.next_decisions()
-            if decisions is None:
-                break
-            run_index += 1
-            result, trace = self.run_once(decisions)
-            if store is not None:
-                store.write_run(run_index, trace, decisions)
-            generator.integrate(trace)
-            self._record_run(report, run_index, decisions, result, trace, seen_error_keys)
+        try:
+            while True:
+                if cfg.max_interleavings is not None and report.interleavings >= cfg.max_interleavings:
+                    report.truncated = not generator.exhausted
+                    break
+                if cfg.max_seconds is not None and time.perf_counter() - started > cfg.max_seconds:
+                    report.truncated = not generator.exhausted
+                    break
+                width = executor.wave_width
+                batch = generator.next_decision_batch(width) if width else ()
+                decisions = generator.next_decisions()
+                if decisions is None:
+                    break
+                run_index += 1
+                outcome = executor.run(decisions, batch)
+                if outcome.failure is not None:
+                    generator.abandon()
+                    self._record_worker_failure(
+                        report, run_index, decisions, outcome.failure, seen_error_keys
+                    )
+                    continue
+                result, trace = outcome.result, outcome.trace
+                if store is not None:
+                    store.write_run(run_index, trace, decisions)
+                fingerprint = completed_outcome(trace)
+                generator.integrate(
+                    trace,
+                    seed_fresh=not (
+                        cfg.outcome_dedup and fingerprint in witnessed_outcomes
+                    ),
+                )
+                witnessed_outcomes.add(fingerprint)
+                self._record_run(report, run_index, decisions, result, trace, seen_error_keys)
+        finally:
+            executor.close()
 
         report.divergences = generator.divergences
+        report.bound_frozen = generator.distance_frozen
+        report.parallel_stats = executor.stats()
         report.wall_seconds = time.perf_counter() - started
         return report
+
+    def _record_worker_failure(
+        self,
+        report: VerificationReport,
+        index: int,
+        decisions: EpochDecisions,
+        reason: str,
+        seen: set,
+    ) -> None:
+        """A pool worker crashed or timed out: surface the lost replay as a
+        crash defect (with its witness schedule) instead of aborting."""
+        report.interleavings += 1
+        key = ("crash", reason)
+        if key not in seen:
+            seen.add(key)
+            report.errors.append(FoundError("crash", index, reason, decisions))
+        report.runs.append(
+            RunRecord(
+                index=index,
+                makespan=0.0,
+                wildcard_count=0,
+                error_kinds=("crash",),
+                diverged=True,
+                flip=decisions.flip if decisions else None,
+                outcome=frozenset(),
+            )
+        )
 
     def _record_run(
         self,
@@ -355,11 +457,7 @@ class DampiVerifier:
                     report.errors.append(
                         FoundError("request_leak", index, str(leak), decisions)
                     )
-        outcome = frozenset(
-            (e.key, e.matched_source)
-            for e in trace.all_epochs()
-            if e.matched_source is not None
-        )
+        outcome = completed_outcome(trace)
         report.runs.append(
             RunRecord(
                 index=index,

@@ -53,6 +53,12 @@ class DeadlockError(MPIError):
         detail = ", ".join(f"rank {r}: {op}" for r, op in sorted(self.blocked.items()))
         super().__init__(f"deadlock detected ({detail})" if detail else "deadlock detected")
 
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with the message string,
+        # which is not a ``blocked`` mapping; replay jobs cross process
+        # boundaries, so round-trip with the real constructor argument.
+        return (DeadlockError, (self.blocked,))
+
 
 class AbortError(MPIError):
     """A rank called ``abort`` (MPI_Abort); propagated to every rank."""
@@ -61,6 +67,9 @@ class AbortError(MPIError):
         self.rank = rank
         self.errorcode = errorcode
         super().__init__(f"rank {rank} called abort with errorcode {errorcode}")
+
+    def __reduce__(self):
+        return (AbortError, (self.rank, self.errorcode))
 
 
 class VerificationError(ReproError):

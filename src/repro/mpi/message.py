@@ -17,6 +17,19 @@ from repro.mpi.datatypes import sizeof
 _envelope_ids = itertools.count(1)
 
 
+def reset_envelope_ids() -> None:
+    """Restart envelope numbering at 1 (called per ``Runtime.run()``).
+
+    Uids are only ever compared within one run's trace; per-run numbering
+    makes traces — and any diagnostics quoting an envelope — deterministic
+    functions of the schedule, regardless of what the hosting process ran
+    before (the parallel replay engine runs schedules in pool workers,
+    whose counters would otherwise have drifted from the serial walk's).
+    """
+    global _envelope_ids
+    _envelope_ids = itertools.count(1)
+
+
 @dataclass(eq=False)
 class Envelope:
     """One in-flight (or delivered) point-to-point message.

@@ -20,6 +20,16 @@ from repro.mpi.datatypes import count_of
 _request_ids = itertools.count(1)
 
 
+def reset_request_ids() -> None:
+    """Restart request numbering at 1 (called per ``Runtime.run()``).
+
+    Request uids appear in deadlock/leak diagnostics; per-run numbering
+    keeps those messages identical whether a schedule is replayed in-process
+    or on a pool worker (see :mod:`repro.dampi.parallel`)."""
+    global _request_ids
+    _request_ids = itertools.count(1)
+
+
 class RequestKind(enum.Enum):
     SEND = "send"
     RECV = "recv"

@@ -22,7 +22,9 @@ from typing import Any, Callable, Optional, Sequence
 from repro.errors import AbortError, DeadlockError
 from repro.mpi.costmodel import CostModel
 from repro.mpi.engine import MessageEngine
+from repro.mpi.message import reset_envelope_ids
 from repro.mpi.process import Proc
+from repro.mpi.request import reset_request_ids
 from repro.pnmpi.stack import ToolStack
 
 #: C-stack per rank thread.  Rank code is shallow; the default 8 MiB would
@@ -141,6 +143,12 @@ class Runtime:
         if self._ran:
             raise RuntimeError("a Runtime can only run once; create a new one")
         self._ran = True
+
+        # per-run uid numbering: diagnostics quoting a request/envelope must
+        # not depend on what this process executed before (guided replays
+        # may run in pool workers — see repro.dampi.parallel)
+        reset_envelope_ids()
+        reset_request_ids()
 
         for module in self.stack:
             module.setup(self)

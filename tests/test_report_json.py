@@ -17,11 +17,23 @@ class TestReportJson:
             wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
         ).verify()
         payload = json.loads(rep.to_json())
+        assert payload["version"] == 2
         assert payload["interleavings"] == 4
         assert payload["errors"] == []
         assert payload["distinct_outcomes"] == 4
         assert len(payload["runs"]) == 4
         assert payload["runs"][0]["flip"] is None
+
+    def test_v2_carries_wall_seconds_and_per_run_wildcard_counts(self):
+        rep = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        payload = json.loads(rep.to_json())
+        assert payload["wall_seconds"] == rep.wall_seconds > 0.0
+        assert [r["wildcard_count"] for r in payload["runs"]] == [
+            r.wildcard_count for r in rep.runs
+        ]
+        assert all(r["wildcard_count"] == 2 for r in payload["runs"])
 
     def test_error_report_carries_witness(self):
         rep = DampiVerifier(fig3_program, 3).verify()
