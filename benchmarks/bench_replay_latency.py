@@ -1,0 +1,254 @@
+"""Per-replay latency: the execution-substrate hot path, before vs. after.
+
+DAMPI's verification wall is ``replays x per-replay latency``; the paper
+attacks the first factor (distributed replays), this repo's substrate work
+attacks the second.  This bench measures the latency factor end-to-end:
+the wall-clock of every ``run_once`` a verification performs — replay
+construction/reset, rank dispatch, program execution, and trace collection
+— on the matmult workload (paper Fig. 6) and one bug-zoo program.
+
+Legs
+----
+``after``
+    The current tree: persistent rank-executor session (threads + compiled
+    tool chains reused across replays) and indexed matching.
+``before``
+    The pre-overhaul baseline (:data:`BASELINE_REF` — the PR 1 tip, which
+    spawned ``nprocs`` OS threads and rebuilt every module per replay and
+    matched by linear scan), checked out into a temporary git worktree and
+    driven by the *same* driver script in a subprocess.  Where git or the
+    baseline commit is unavailable (e.g. a shallow clone), the leg falls
+    back to a config ablation of the current tree
+    (``persistent_session=False, indexed_matching=False``) and records
+    ``baseline_mode="ablation"`` — that ablation cannot see pure hot-path
+    micro-optimisations shared by both configurations, so its ratio is a
+    lower bound.
+
+Methodology: legs are interleaved (before/after alternating) so drifting
+host load hits both distributions, and each leg's p50 is the best (minimum)
+across repetitions — the robust statistic under CI-grade jitter.  Runs are
+measured in fresh subprocesses for both legs so interpreter state is
+equalised.
+
+Phase breakdown (current tree only; the baseline predates phase
+instrumentation): ``spawn_reset`` (uid resets, module setup, thread
+dispatch), ``execute`` (rank mains), ``trace_integrate`` (module ``finish``
+— trace/artifact collection).
+
+Artifacts: ``benchmarks/results/replay_latency.txt`` and
+``BENCH_replay_latency.json`` (canonical schema, see
+:func:`benchmarks._util.write_bench_json`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+if __package__ in (None, ""):  # `python benchmarks/bench_replay_latency.py`
+    sys.path.insert(0, str(Path(__file__).parent.parent))
+
+import pytest
+
+from benchmarks._util import FULL, REPO_ROOT, one_shot, record, write_bench_json
+
+#: The substrate before this overhaul: thread-spawn-per-replay, fresh
+#: modules per run, linear-scan matching (PR 1 tip).
+BASELINE_REF = "ad906714525439dfdbec9c6bc5ca14e6a8597185"
+
+#: Repetitions per leg; the reported p50 is the minimum across reps.
+REPS = 3 if FULL or os.environ.get("REPRO_BENCH_SMOKE") != "1" else 1
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: (label, program path, nprocs, program kwargs)
+PROGRAMS = [
+    ("matmult", "repro.workloads.matmult:matmult_program", 8,
+     {"n": 8, "blocks_per_slave": 2 if SMOKE else 3}),
+    ("zoo_safe_wildcard", "repro.workloads.bugzoo:safe_wildcard_commutative", 4, {}),
+]
+
+#: Driver run in a subprocess against either tree.  Wraps ``run_once`` so
+#: every execution the verification performs — self run and guided replays
+#: — contributes one wall sample.  ``REPLAY_LATENCY_ABLATE=1`` selects the
+#: ablation baseline on trees whose config supports it.
+_DRIVER = r"""
+import dataclasses, json, os, statistics, sys, time, importlib
+mod, fn = sys.argv[1].rsplit(":", 1)
+nprocs = int(sys.argv[2]); kw = json.loads(sys.argv[3])
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier
+program = getattr(importlib.import_module(mod), fn)
+cfg_kwargs = {"bound_k": 0}
+if os.environ.get("REPLAY_LATENCY_ABLATE") == "1":
+    fields = {f.name for f in dataclasses.fields(DampiConfig)}
+    for name in ("persistent_session", "indexed_matching"):
+        if name in fields:
+            cfg_kwargs[name] = False
+v = DampiVerifier(program, nprocs, DampiConfig(**cfg_kwargs), kwargs=kw)
+walls, phases = [], []
+orig = v.run_once
+def timed(decisions=None):
+    t0 = time.perf_counter()
+    res = orig(decisions)
+    walls.append(time.perf_counter() - t0)
+    phases.append(dict(getattr(res[0], "phases", None) or {}))
+    return res
+v.run_once = timed
+v.verify()
+walls.sort()
+out = {
+    "runs": len(walls),
+    "p50_ms": 1000 * statistics.median(walls),
+    "p95_ms": 1000 * walls[int(0.95 * (len(walls) - 1))],
+}
+for key in ("spawn_reset", "execute", "finish"):
+    vals = [ph[key] for ph in phases if key in ph]
+    out["phase_%s_p50_ms" % key] = (
+        1000 * statistics.median(vals) if vals else None
+    )
+print("REPLAY_LATENCY_JSON:" + json.dumps(out))
+"""
+
+
+def _run_driver(src_root: Path, label: str, program: str, nprocs: int,
+                kwargs: dict, ablate: bool = False) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(src_root))
+    if ablate:
+        env["REPLAY_LATENCY_ABLATE"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-c", _DRIVER, program, str(nprocs), json.dumps(kwargs)],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{label} driver failed ({proc.returncode}):\n{proc.stderr[-2000:]}"
+        )
+    for line in proc.stdout.splitlines():
+        if line.startswith("REPLAY_LATENCY_JSON:"):
+            return json.loads(line[len("REPLAY_LATENCY_JSON:"):])
+    raise RuntimeError(f"{label} driver produced no result line")
+
+
+class _Baseline:
+    """Checkout of :data:`BASELINE_REF` in a temporary git worktree, with
+    the config-ablation fallback when git can't produce one."""
+
+    def __init__(self):
+        self.mode = "worktree"
+        self.path: Path | None = None
+
+    def __enter__(self) -> "_Baseline":
+        tmp = Path(tempfile.mkdtemp(prefix="replay-latency-baseline-"))
+        wt = tmp / "tree"
+        try:
+            subprocess.run(
+                ["git", "-C", str(REPO_ROOT), "worktree", "add",
+                 "--detach", str(wt), BASELINE_REF],
+                check=True, capture_output=True, text=True, timeout=120,
+            )
+            self.path = wt
+        except (subprocess.SubprocessError, FileNotFoundError):
+            self.mode = "ablation"
+        return self
+
+    def src_root(self) -> Path:
+        if self.path is not None:
+            return self.path / "src"
+        return REPO_ROOT / "src"
+
+    def __exit__(self, *exc) -> None:
+        if self.path is not None:
+            subprocess.run(
+                ["git", "-C", str(REPO_ROOT), "worktree", "remove",
+                 "--force", str(self.path)],
+                capture_output=True, timeout=120,
+            )
+
+
+def run_latency() -> dict:
+    data: dict = {"baseline_ref": BASELINE_REF, "reps": REPS, "programs": {}}
+    with _Baseline() as base:
+        data["baseline_mode"] = base.mode
+        for label, program, nprocs, kwargs in PROGRAMS:
+            before, after = [], []
+            for _ in range(REPS):  # interleave legs against host-load drift
+                before.append(_run_driver(
+                    base.src_root(), f"{label}/before", program, nprocs,
+                    kwargs, ablate=base.mode == "ablation",
+                ))
+                after.append(_run_driver(
+                    REPO_ROOT / "src", f"{label}/after", program, nprocs, kwargs,
+                ))
+            best_before = min(before, key=lambda r: r["p50_ms"])
+            best_after = min(after, key=lambda r: r["p50_ms"])
+            data["programs"][label] = {
+                "nprocs": nprocs,
+                "kwargs": kwargs,
+                "runs_per_rep": best_after["runs"],
+                "before": best_before,
+                "after": best_after,
+                "p50_speedup": best_before["p50_ms"] / best_after["p50_ms"],
+            }
+    return data
+
+
+def _report(data: dict) -> list[str]:
+    lines = [
+        "Per-replay latency: persistent session + indexed matching vs "
+        f"baseline ({data['baseline_mode']}, reps={data['reps']})",
+        "",
+        f"{'program':>18} | {'runs':>5} | {'before p50':>11} | "
+        f"{'after p50':>10} | {'speedup':>8} | {'after p95':>10}",
+    ]
+    for label, row in data["programs"].items():
+        lines.append(
+            f"{label:>18} | {row['runs_per_rep']:>5} | "
+            f"{row['before']['p50_ms']:9.2f}ms | {row['after']['p50_ms']:8.2f}ms | "
+            f"{row['p50_speedup']:7.2f}x | {row['after']['p95_ms']:8.2f}ms"
+        )
+    mm = data["programs"].get("matmult")
+    if mm is not None:
+        ph = mm["after"]
+        lines += [
+            "",
+            "matmult after-leg phase p50s: "
+            f"spawn_reset={ph['phase_spawn_reset_p50_ms']:.3f}ms "
+            f"execute={ph['phase_execute_p50_ms']:.3f}ms "
+            f"trace_integrate={ph['phase_finish_p50_ms']:.3f}ms",
+        ]
+    return lines
+
+
+def _check(data: dict) -> None:
+    for label, row in data["programs"].items():
+        assert row["runs_per_rep"] >= 4, f"{label}: too few replays to measure"
+    mm = data["programs"]["matmult"]
+    assert mm["p50_speedup"] > 1.0, (
+        f"per-replay p50 regressed: {mm['p50_speedup']:.2f}x"
+    )
+    if data["baseline_mode"] == "worktree" and not SMOKE:
+        assert mm["p50_speedup"] >= 2.0, (
+            f"expected >=2x per-replay p50 on matmult, got "
+            f"{mm['p50_speedup']:.2f}x"
+        )
+
+
+@pytest.mark.slow
+def test_replay_latency(benchmark):
+    data = one_shot(benchmark, run_latency)
+    _check(data)
+    record("replay_latency", _report(data))
+    write_bench_json("replay_latency", data)
+
+
+if __name__ == "__main__":
+    data = run_latency()
+    _check(data)
+    record("replay_latency", _report(data))
+    write_bench_json("replay_latency", data)

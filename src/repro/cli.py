@@ -78,7 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             metavar="N",
             help="replay worker processes (0 = all cores; default 1 = serial; "
-            "the report is identical either way)",
+            "the report is identical either way; auto-demoted to serial on "
+            "single-CPU hosts, where a pool can only add overhead)",
         )
 
     v = sub.add_parser("verify", help="explore the wildcard match space")

@@ -75,17 +75,19 @@ class LamportClock:
         Current scalar clock value.  Starts at 0.
     """
 
-    __slots__ = ("rank", "time")
+    __slots__ = ("rank", "time", "_snap")
 
     def __init__(self, rank: int, time: int = 0):
         if time < 0:
             raise ValueError("Lamport time must be non-negative")
         self.rank = rank
         self.time = time
+        self._snap: LamportStamp | None = None
 
     def tick(self) -> None:
         """A visible local event: ``LC += 1``."""
         self.time += 1
+        self._snap = None
 
     def merge(self, stamp: LamportStamp) -> None:
         """Receive rule: ``LC = max(LC, received)``.
@@ -96,9 +98,16 @@ class LamportClock:
         """
         if stamp.time > self.time:
             self.time = stamp.time
+            self._snap = None
 
     def snapshot(self) -> LamportStamp:
-        return LamportStamp(self.time, self.rank)
+        # Stamps are immutable and the clock only moves on ticks/merges,
+        # while snapshot() runs once per piggybacked send — cache between
+        # clock movements to avoid the per-send allocation.
+        snap = self._snap
+        if snap is None:
+            snap = self._snap = LamportStamp(self.time, self.rank)
+        return snap
 
     def __repr__(self) -> str:
         return f"LamportClock(rank={self.rank}, time={self.time})"

@@ -36,7 +36,7 @@ from repro.clocks.vector import VectorStamp
 from repro.dampi.decisions import EpochDecisions
 from repro.dampi.epoch import EpochRecord, PotentialMatch, RunTrace
 from repro.dampi.piggyback import PiggybackModule
-from repro.mpi.constants import ANY_SOURCE, PROC_NULL, ReduceOp
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, ReduceOp
 from repro.mpi.request import Request, RequestKind, Status
 from repro.pnmpi.module import ToolModule
 
@@ -145,8 +145,11 @@ class DampiClockModule(ToolModule):
             start = 0
         ctx_obj = self._engine.contexts[env.ctx]
         src_local = None
-        for e in state.epochs[start:]:
-            if e.ctx != env.ctx or not e.accepts_tag(env.tag):
+        epochs = state.epochs
+        env_ctx, env_tag = env.ctx, env.tag
+        for i in range(start, len(epochs)):
+            e = epochs[i]
+            if e.ctx != env_ctx or (e.tag != env_tag and e.tag != ANY_TAG):
                 continue
             if e.stamp.leq(stamp):
                 # the epoch's post-tick clock flowed into the send: the

@@ -46,6 +46,26 @@ class DampiConfig:
         Per-replay wall-clock timeout in pool mode; a worker exceeding it
         (or dying) is reported as a ``crash`` defect with its witness
         schedule instead of hanging the session.  ``None`` disables.
+    force_jobs:
+        By default ``jobs > 1`` is auto-demoted to in-process execution
+        on single-CPU hosts, where process-pool dispatch can only add
+        overhead (``pool_stats`` records the demotion and its reason).
+        ``True`` skips the heuristic and uses the pool regardless —
+        tests of the pool machinery and oversubscription experiments.
+    persistent_session:
+        Reuse one runtime + rank-executor-thread pool + module stack
+        across the guided replays of a verification (engine state is
+        rebuilt per run; see ``Runtime.recycle``).  Cuts per-replay
+        thread spawn/join and interposition-chain compilation — the
+        dominant per-replay cost on small workloads — while keeping
+        reports bit-identical to cold-start execution.  Automatically
+        bypassed when ``policy`` is a policy *instance* (its internal
+        state could carry across runs).  ``False`` restores a fresh
+        Runtime per run.
+    indexed_matching:
+        Use dict-indexed unexpected/posted message queues (O(1) deposit
+        and match) instead of the reference linear scans.  Match order
+        is bit-identical either way; ``False`` is the ablation path.
     outcome_dedup:
         When True, a replay that lands on an already-witnessed
         completed-wildcard outcome is recorded but does not seed fresh
@@ -79,6 +99,9 @@ class DampiConfig:
     max_seconds: Optional[float] = None
     jobs: Optional[int] = 1
     job_timeout_seconds: Optional[float] = None
+    force_jobs: bool = False
+    persistent_session: bool = True
+    indexed_matching: bool = True
     outcome_dedup: bool = False
     policy: str = "arrival"
     mode: str = "run_to_block"

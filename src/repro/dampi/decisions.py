@@ -36,6 +36,10 @@ class EpochDecisions:
             rank, lc = key
             if lc < 0 or src < 0:
                 raise ValueError(f"invalid decision {key} -> {src}")
+        #: lazy per-rank max-lc cache; ``forced`` is never mutated after
+        #: construction (the explorer builds the dict first), so the cache
+        #: never goes stale
+        self._max_lc: Optional[dict[int, int]] = None
 
     def source_for(self, rank: int, lc: int) -> Optional[int]:
         """``GetSrcFromEpoch``: the forced source for an epoch, if any."""
@@ -48,8 +52,14 @@ class EpochDecisions:
         start — their behaviour up to the causal frontier is reproduced by
         the deterministic runtime plus the other ranks' forced matches).
         """
-        lcs = [lc for (r, lc) in self.forced if r == rank]
-        return max(lcs) if lcs else -1
+        cache = self._max_lc
+        if cache is None:
+            cache = {}
+            for r, lc in self.forced:
+                if lc > cache.get(r, -1):
+                    cache[r] = lc
+            self._max_lc = cache
+        return cache.get(rank, -1)
 
     def __len__(self) -> int:
         return len(self.forced)

@@ -21,7 +21,7 @@ from repro.mpi.constants import ANY_TAG
 EpochKey = tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class EpochRecord:
     """One non-deterministic operation observed during a run.
 
@@ -78,7 +78,7 @@ class EpochRecord:
         return f"Epoch({self.kind} r{self.rank}@{self.lc} ctx={self.ctx} tag={self.tag}{m})"
 
 
-@dataclass
+@dataclass(slots=True)
 class PotentialMatch:
     """A late message recorded against an epoch (paper Fig. 2's red arrows).
 

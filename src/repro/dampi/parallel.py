@@ -33,6 +33,7 @@ Degradation paths, in order:
 from __future__ import annotations
 
 import heapq
+import logging
 import os
 import pickle
 import time
@@ -43,6 +44,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.dampi.decisions import EpochDecisions
+
+_log = logging.getLogger(__name__)
 
 #: schedules speculated ahead per wave, as a multiple of the worker count —
 #: enough to hide consume latency without unbounded speculative waste
@@ -77,16 +80,31 @@ class ReplaySpec:
             return False
 
 
+#: per-worker-process verifier reuse: ``(spec, verifier)`` of the last task.
+#: Consecutive tasks for the same spec hit the verifier's persistent replay
+#: session (parked rank threads, compiled interposition chains) instead of
+#: rebuilding everything — the same hot path the serial loop uses.  Replays
+#: renumber uids per run, so reuse cannot leak into results.
+_WORKER_CACHE: list = [None, None]
+
+
 def _execute_replay(spec: ReplaySpec, decisions: EpochDecisions):
     """Worker entry point: one guided replay, timed."""
-    verifier = spec.verifier_cls(
-        spec.program,
-        spec.nprocs,
-        spec.config,
-        args=spec.args,
-        kwargs=spec.kwargs,
-        **spec.ctor_extra,
-    )
+    if _WORKER_CACHE[0] == spec and _WORKER_CACHE[1] is not None:
+        verifier = _WORKER_CACHE[1]
+    else:
+        if _WORKER_CACHE[1] is not None:
+            _WORKER_CACHE[1].close()
+        verifier = spec.verifier_cls(
+            spec.program,
+            spec.nprocs,
+            spec.config,
+            args=spec.args,
+            kwargs=spec.kwargs,
+            **spec.ctor_extra,
+        )
+        _WORKER_CACHE[0] = spec
+        _WORKER_CACHE[1] = verifier
     t0 = time.perf_counter()
     result, trace = verifier.run_once(decisions)
     return result, trace, time.perf_counter() - t0
@@ -132,6 +150,7 @@ class ReplayExecutor:
         timeout: Optional[float] = None,
         inline_runner: Optional[Callable] = None,
         trace_waves: int = 0,
+        force: bool = False,
     ):
         self.spec = spec
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
@@ -149,10 +168,24 @@ class ReplayExecutor:
         self.failures = 0
         self.wasted = 0
         self.demoted = False
+        self.demote_reason: Optional[str] = None
         self.consumed_keys: list[ScheduleKey] = []
         self.consumed_seconds: list[float] = []
         self.miss_flags: list[bool] = []
         self.wave_log: list[list[ScheduleKey]] = []
+        # Replay cost is pure compute: on a single-CPU host pool workers
+        # time-slice against the consuming loop and dispatch overhead is
+        # all the pool can add.  Demote up front unless explicitly forced
+        # (DampiConfig.force_jobs) — reports are identical either way.
+        if self.parallel and not force and (os.cpu_count() or 1) <= 1:
+            self.parallel = False
+            self.demoted = True
+            self.demote_reason = (
+                f"auto-demoted to in-process execution: single-CPU host "
+                f"(os.cpu_count()={os.cpu_count()!r}) cannot run "
+                f"{self.jobs} compute-bound replay workers concurrently"
+            )
+            _log.info("%s", self.demote_reason)
 
     # -- sizing ---------------------------------------------------------------
 
@@ -175,10 +208,13 @@ class ReplayExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
         return self._pool
 
-    def _demote(self) -> None:
+    def _demote(self, reason: str = "worker pool broken") -> None:
         """Abandon the pool and run the rest of the session in-process."""
         self.parallel = False
         self.demoted = True
+        if self.demote_reason is None:
+            self.demote_reason = reason
+            _log.info("replay pool demoted: %s", reason)
         self.wasted += len(self._futures)
         self._futures.clear()
         if self._pool is not None:
@@ -204,7 +240,7 @@ class ReplayExecutor:
             self._futures[key] = pool.submit(_execute_replay, self.spec, decisions)
             self.submitted += 1
         except Exception:  # pool already broken/shut down
-            self._demote()
+            self._demote("pool submission failed")
 
     def run(
         self, decisions: EpochDecisions, batch: Sequence[EpochDecisions] = ()
@@ -266,7 +302,7 @@ class ReplayExecutor:
                 miss=miss,
                 failure=f"replay worker died replaying flip {decisions.flip}",
             )
-            self._demote()
+            self._demote("replay worker died")
         except Exception as e:  # unpicklable result, worker-side import error...
             out = ReplayOutcome(
                 miss=miss,
@@ -302,6 +338,7 @@ class ReplayExecutor:
             "failures": self.failures,
             "wasted": self.wasted,
             "demoted": self.demoted,
+            "demote_reason": self.demote_reason,
         }
 
 

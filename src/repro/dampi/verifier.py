@@ -24,8 +24,61 @@ from repro.dampi.monitor import MonitorReport, OmissionMonitorModule
 from repro.dampi.parallel import ReplayExecutor, ReplaySpec
 from repro.dampi.piggyback import PiggybackModule
 from repro.errors import DeadlockError
-from repro.mpi.runtime import Runtime, RunResult
+from repro.mpi.runtime import RankExecutorPool, Runtime, RunResult
 from repro.mpi.tracing import TraceModule
+
+
+class _ReplaySession:
+    """Persistent execution substrate reused across one verification's runs.
+
+    Holds one :class:`Runtime` (tool modules constructed once, their
+    interposition chains compiled once) and one :class:`RankExecutorPool`
+    (rank threads spawned once).  Per run it recycles the runtime — a
+    fresh :class:`~repro.mpi.engine.MessageEngine`, so *all* matching,
+    scheduling, context, and virtual-clock state is rebuilt from scratch —
+    points the clock module at the run's decisions, and dispatches the
+    rank mains onto the parked pool threads.  Module per-run state is
+    reset by each module's ``setup`` inside ``Runtime.run``.
+
+    The session is an optimisation with a bit-identity contract: a
+    recycled run must be indistinguishable from a cold-start one (the
+    differential tests in ``tests/test_verifier.py`` compare whole
+    reports).  Anything that cannot honour the contract — policy
+    instances with hidden state — must bypass the session instead.
+    """
+
+    def __init__(self, verifier: "DampiVerifier"):
+        cfg = verifier.config
+        modules = verifier._build_modules(None)
+        self.clock = next(
+            m for m in modules if isinstance(m, DampiClockModule)
+        )
+        self.runtime = Runtime(
+            verifier.nprocs,
+            verifier.program,
+            modules=modules,
+            policy=cfg.policy,
+            mode=cfg.mode,
+            cost_model=cfg.cost_model,
+            args=verifier.args,
+            kwargs=verifier.kwargs,
+            indexed=cfg.indexed_matching,
+        )
+        self.pool = RankExecutorPool(
+            verifier.nprocs, name=f"{self.runtime.name}-session"
+        )
+
+    def run(
+        self, decisions: Optional[EpochDecisions]
+    ) -> tuple[RunResult, RunTrace]:
+        self.runtime.recycle()
+        self.clock.decisions = decisions or EpochDecisions()
+        pool = None if self.pool.broken else self.pool
+        result = self.runtime.run(pool=pool)
+        return result, result.artifacts["dampi"]
+
+    def close(self) -> None:
+        self.pool.close()
 
 
 @dataclass
@@ -230,6 +283,8 @@ class DampiVerifier:
         self.config = config or DampiConfig()
         self.args = args
         self.kwargs = kwargs or {}
+        self._session: Optional[_ReplaySession] = None
+        self._runs_started = 0
 
     # -- module stack -----------------------------------------------------------
 
@@ -257,8 +312,27 @@ class DampiVerifier:
     def run_once(
         self, decisions: Optional[EpochDecisions] = None
     ) -> tuple[RunResult, RunTrace]:
-        """One instrumented execution (self run if ``decisions`` is empty)."""
+        """One instrumented execution (self run if ``decisions`` is empty).
+
+        The first execution always cold-starts (fresh runtime and
+        threads): single-run users pay nothing for the session machinery
+        and leak no pool threads.  From the second execution on — i.e.
+        for guided replays — a persistent session takes over when the
+        config allows it (see ``DampiConfig.persistent_session``).
+        """
         cfg = self.config
+        self._runs_started += 1
+        if self._session is not None:
+            return self._session.run(decisions)
+        if (
+            cfg.persistent_session
+            and self._runs_started >= 2
+            # a policy instance may carry internal state (e.g. a seeded
+            # RNG) across runs; only string specs rebuild from scratch
+            and isinstance(cfg.policy, str)
+        ):
+            self._session = _ReplaySession(self)
+            return self._session.run(decisions)
         runtime = Runtime(
             self.nprocs,
             self.program,
@@ -268,10 +342,25 @@ class DampiVerifier:
             cost_model=cfg.cost_model,
             args=self.args,
             kwargs=self.kwargs,
+            indexed=cfg.indexed_matching,
         )
         result = runtime.run()
         trace = result.artifacts["dampi"]
         return result, trace
+
+    def close(self) -> None:
+        """Release the persistent replay session (rank-executor threads),
+        if one was created.  ``verify()`` calls this on exit; direct
+        ``run_once`` users looping over schedules should too."""
+        session, self._session = self._session, None
+        if session is not None:
+            session.close()
+
+    def __del__(self):  # best-effort; daemon threads die with the process
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- parallel plumbing --------------------------------------------------------
 
@@ -295,6 +384,7 @@ class DampiVerifier:
             jobs=self.config.jobs,
             timeout=self.config.job_timeout_seconds,
             inline_runner=self.run_once,
+            force=self.config.force_jobs,
         )
 
     def verify(self, executor: Optional[ReplayExecutor] = None) -> VerificationReport:
@@ -370,6 +460,7 @@ class DampiVerifier:
                 self._record_run(report, run_index, decisions, result, trace, seen_error_keys)
         finally:
             executor.close()
+            self.close()
 
         report.divergences = generator.divergences
         report.bound_frozen = generator.distance_frozen

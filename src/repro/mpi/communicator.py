@@ -64,9 +64,8 @@ class CommContext:
         self.label = label or f"ctx{ctx}"
         #: world ranks that have freed their handle (len == size => fully freed)
         self.freed_by: set[int] = set()
-        # (src_world, dst_world) -> next sequence number.  Guarded by _lock so
-        # free-threaded mode stays consistent; in deterministic modes the
-        # engine token already serialises access.
+        # (src_world, dst_world) -> next sequence number.  Mutated only
+        # under the engine lock (see next_send_seq).
         self._send_seq: dict[tuple[int, int], int] = {}
         # per-world-rank count of collectives entered on this context; the
         # n-th collective call of every member pairs into instance n.
@@ -96,19 +95,22 @@ class CommContext:
         return self.group[comm_rank]
 
     def next_send_seq(self, src_world: int, dst_world: int) -> int:
-        """Allocate the next non-overtaking sequence number for a stream."""
-        with self._lock:
-            key = (src_world, dst_world)
-            seq = self._send_seq.get(key, 0)
-            self._send_seq[key] = seq + 1
-            return seq
+        """Allocate the next non-overtaking sequence number for a stream.
+
+        Lockless: every call site holds the engine lock, which already
+        serialises access in all scheduling modes."""
+        key = (src_world, dst_world)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        return seq
 
     def next_collective_seq(self, world_rank: int) -> int:
-        """Ordinal of this rank's next collective on this context."""
-        with self._lock:
-            seq = self._coll_seq.get(world_rank, 0)
-            self._coll_seq[world_rank] = seq + 1
-            return seq
+        """Ordinal of this rank's next collective on this context.
+
+        Lockless — same engine-lock argument as :meth:`next_send_seq`."""
+        seq = self._coll_seq.get(world_rank, 0)
+        self._coll_seq[world_rank] = seq + 1
+        return seq
 
     def is_fully_freed(self) -> bool:
         return len(self.freed_by) == len(self.group)

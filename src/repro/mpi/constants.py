@@ -73,9 +73,9 @@ def validate_tag(tag: int, *, receiving: bool) -> None:
 
     Receives additionally accept ``ANY_TAG``.
     """
-    from repro.errors import InvalidTagError
-
     if receiving and tag == ANY_TAG:
         return
     if not isinstance(tag, int) or not 0 <= tag <= TAG_UB:
+        from repro.errors import InvalidTagError
+
         raise InvalidTagError(f"tag {tag!r} outside [0, {TAG_UB}]")

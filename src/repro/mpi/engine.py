@@ -44,13 +44,21 @@ from repro.mpi.collectives import CollectiveInstance
 from repro.mpi.communicator import CommContext
 from repro.mpi.constants import ANY_SOURCE, UNDEFINED, ReduceOp, validate_tag
 from repro.mpi.costmodel import CostModel, SerializedResource, VirtualClocks
-from repro.mpi.matching import MailBox, make_policy
+from repro.mpi.matching import IndexedMailBox, LinearMailBox, make_policy
 from repro.mpi.message import Envelope
 from repro.mpi.request import Request, RequestKind, RequestState, Status
 
 #: Condition waits re-check this often; protects the test-suite from hanging
 #: forever on an engine bug (a stall past this raises EngineStallError).
 _WAIT_QUANTUM = 300.0
+
+# Enum members resolved once — class-level member access goes through a
+# descriptor, and these are checked on every wait/test.
+_COMPLETE = RequestState.COMPLETE
+_CONSUMED = RequestState.CONSUMED
+_FREED = RequestState.FREED
+_RECV = RequestKind.RECV
+_SEND = RequestKind.SEND
 
 WORLD_CTX = 0
 
@@ -100,6 +108,7 @@ class MessageEngine:
         cost_model: Optional[CostModel] = None,
         policy="arrival",
         mode: str = "run_to_block",
+        indexed: bool = True,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -116,7 +125,8 @@ class MessageEngine:
 
         self._lock = threading.Lock()
         self._ranks = [_RankState(r, self._lock) for r in range(nprocs)]
-        self._mail = [MailBox(r) for r in range(nprocs)]
+        mailbox_cls = IndexedMailBox if indexed else LinearMailBox
+        self._mail = [mailbox_cls(r) for r in range(nprocs)]
         self._collectives: dict[tuple[int, int], CollectiveInstance] = {}
         self._coll_done: dict[tuple[int, int], int] = {}
         self.contexts: dict[int, CommContext] = {}
@@ -236,12 +246,18 @@ class MessageEngine:
         if blocked:
             self._set_fatal(DeadlockError(blocked))
 
-    def _block_until(self, rank: int, ready_fn, describe: str) -> None:
+    def _block_until(self, rank: int, ready_fn, describe) -> None:
         """Block the calling rank until ``ready_fn()`` (engine-state
-        predicate).  Releases the token while blocked."""
+        predicate).  Releases the token while blocked.
+
+        ``describe`` may be a string or a zero-arg callable producing one;
+        callables are only evaluated when the rank actually blocks, so hot
+        paths can defer ``repr`` formatting to the (rare) blocking case."""
         st = self._ranks[rank]
         if ready_fn():
             return
+        if not isinstance(describe, str):
+            describe = describe()
         st.state = RankRunState.BLOCKED
         st.describe = describe
         st.ready_fn = ready_fn
@@ -291,11 +307,18 @@ class MessageEngine:
     ) -> Request:
         """Eager non-blocking send: deposits immediately, completes locally."""
         validate_tag(tag, receiving=False)
+        cost = self.cost
         with self._lock:
-            self._check_fatal(rank)
-            ctx = self._live_context(ctx_id)
-            send_vtime = self.clocks.now(rank)
-            req = Request(RequestKind.SEND, rank, ctx_id, proc=proc)
+            if self._fatal is not None:
+                raise self._fatal
+            # Hot path: a context is only worth re-validating once someone
+            # has freed on it (the common case is an untouched world comm).
+            ctx = self.contexts.get(ctx_id)
+            if ctx is None or ctx.freed_by:
+                ctx = self._live_context(ctx_id)
+            vtimes = self.clocks.vtimes
+            send_vtime = vtimes[rank]
+            req = Request(_SEND, rank, ctx_id, proc=proc)
             req.post_vtime = send_vtime
             seq = ctx.next_send_seq(rank, dest_world)
             env = Envelope(
@@ -307,19 +330,24 @@ class MessageEngine:
                 seq=seq,
                 send_vtime=send_vtime,
             )
-            env.arrival_vtime = self.cost.arrival_vtime(env)
-            send_cost = self.cost.send_cost(env.nbytes)
+            # inlined cost.arrival_vtime / cost.send_cost (hottest call site)
+            nbytes = env.nbytes
+            byte_cost = nbytes * cost.byte_time
+            env.arrival_vtime = send_vtime + cost.latency + byte_cost
+            send_cost = cost.p2p_overhead + byte_cost
             if ctx.tool:
-                send_cost *= self.cost.tool_factor
-            now = self.clocks.advance(rank, send_cost)
-            req.state = RequestState.COMPLETE
+                send_cost *= cost.tool_factor
+            vtimes[rank] = now = send_vtime + send_cost
+            req.state = _COMPLETE
             req.complete_vtime = now
             req.status = Status()
             req.envelope = env
-            self.stats.envelopes += 1
-            self.stats.bytes += env.nbytes
+            stats = self.stats
+            stats.envelopes += 1
+            stats.bytes += nbytes
             self._deposit(env)
-            self._maybe_yield(rank)
+            if self.mode == "rr":
+                self._yield_token(rank)
             return req
 
     def pmpi_issend(
@@ -377,21 +405,23 @@ class MessageEngine:
         req.data = env.payload
         req.envelope = env
         req.status = Status(source=ctx.rank_of(env.src), tag=env.tag, payload=env.payload)
-        recv_cost = self.cost.recv_cost()
+        cost = self.cost
+        recv_cost = cost.p2p_overhead  # inlined cost.recv_cost()
         if ctx.tool:
-            recv_cost *= self.cost.tool_factor
+            recv_cost *= cost.tool_factor
         req.complete_vtime = (
-            max(req.post_vtime, env.arrival_vtime, self.clocks.now(req.owner))
+            max(req.post_vtime, env.arrival_vtime, self.clocks.vtimes[req.owner])
             + recv_cost
         )
-        req.state = RequestState.COMPLETE
-        self.stats.matches += 1
-        if req.is_wildcard_recv:
-            self.stats.wildcard_matches += 1
+        req.state = _COMPLETE
+        stats = self.stats
+        stats.matches += 1
+        if req.posted_src == ANY_SOURCE:
+            stats.wildcard_matches += 1
         if env.sync_req is not None:
             # rendezvous: the synchronous send completes at match time
             sreq = env.sync_req
-            sreq.state = RequestState.COMPLETE
+            sreq.state = _COMPLETE
             sreq.complete_vtime = req.complete_vtime
             self._unblock_if_ready(sreq.owner)
 
@@ -406,15 +436,20 @@ class MessageEngine:
         """
         validate_tag(tag, receiving=True)
         with self._lock:
-            self._check_fatal(rank)
-            self._live_context(ctx_id)
+            if self._fatal is not None:
+                raise self._fatal
+            ctx = self.contexts.get(ctx_id)
+            if ctx is None or ctx.freed_by:
+                ctx = self._live_context(ctx_id)
             req = Request(
-                RequestKind.RECV, rank, ctx_id, posted_src=src_world, posted_tag=tag, proc=proc
+                _RECV, rank, ctx_id, posted_src=src_world, posted_tag=tag, proc=proc
             )
-            post_cost = self.cost.recv_cost()
-            if self.contexts[ctx_id].tool:
-                post_cost *= self.cost.tool_factor
-            req.post_vtime = self.clocks.advance(rank, post_cost)
+            cost = self.cost
+            post_cost = cost.p2p_overhead  # inlined cost.recv_cost()
+            if ctx.tool:
+                post_cost *= cost.tool_factor
+            vtimes = self.clocks.vtimes
+            vtimes[rank] = req.post_vtime = vtimes[rank] + post_cost
             mb = self._mail[rank]
             candidates = mb.candidates_for(ctx_id, src_world, tag)
             if candidates:
@@ -423,7 +458,8 @@ class MessageEngine:
                 self._complete_recv(req, env)
             else:
                 mb.add_posted(req)
-            self._maybe_yield(rank)
+            if self.mode == "rr":
+                self._yield_token(rank)
             return req
 
     # ------------------------------------------------------------------ #
@@ -431,14 +467,26 @@ class MessageEngine:
     # ------------------------------------------------------------------ #
 
     def pmpi_wait(self, rank: int, req: Request) -> Status:
-        self._validate_completion_target(rank, req)
+        # _validate_completion_target, inlined (wait is the hottest entry
+        # point: two per message counting piggyback traffic)
+        if (
+            req.__class__ is not Request
+            or req.owner != rank
+            or req.state is _FREED
+            or req.state is _CONSUMED
+        ):
+            self._validate_completion_target(rank, req)
         with self._lock:
-            self._check_fatal(rank)
-            self._block_until(
-                rank,
-                lambda: req.is_complete or self._fatal is not None,
-                f"wait on {req!r}",
-            )
+            if self._fatal is not None:
+                raise self._fatal
+            # Fast path: eager sends and already-matched receives complete at
+            # post time, so most waits never block — skip the closure setup.
+            if req.state is not _COMPLETE:
+                self._block_until(
+                    rank,
+                    lambda: req.is_complete or self._fatal is not None,
+                    lambda: f"wait on {req!r}",
+                )
             return self._consume(rank, req)
 
     def pmpi_test(self, rank: int, req: Request) -> tuple[bool, Optional[Status]]:
@@ -469,23 +517,27 @@ class MessageEngine:
 
     def _consume(self, rank: int, req: Request) -> Status:
         if (
-            req.kind is RequestKind.RECV
+            req.kind is _RECV
             and req.max_count is not None
             and req.status is not None
             and req.status.get_count() > req.max_count
         ):
-            req.state = RequestState.CONSUMED
+            req.state = _CONSUMED
             raise TruncationError(
                 f"rank {rank}: message of {req.status.get_count()} elements "
                 f"received into a buffer of {req.max_count} (MPI_ERR_TRUNCATE)"
             )
-        req.state = RequestState.CONSUMED
-        self.clocks.raise_to(rank, req.complete_vtime)
-        local = self.cost.local_op
+        req.state = _CONSUMED
+        cost = self.cost
+        local = cost.local_op
         ctx = self.contexts.get(req.ctx)
         if ctx is not None and ctx.tool:
-            local *= self.cost.tool_factor
-        self.clocks.advance(rank, local)
+            local *= cost.tool_factor
+        vtimes = self.clocks.vtimes
+        t = req.complete_vtime
+        if t < vtimes[rank]:
+            t = vtimes[rank]
+        vtimes[rank] = t + local
         return req.status
 
     def pmpi_waitany_block(self, rank: int, reqs: list[Request]) -> int:
@@ -756,9 +808,13 @@ class MessageEngine:
 
     def charge(self, rank: int, seconds: float) -> None:
         """Advance a rank's virtual clock by tool-side CPU time (used by
-        interposition modules to model their own overhead)."""
-        with self._lock:
-            self.clocks.advance(rank, seconds)
+        interposition modules to model their own overhead).
+
+        Lockless: a rank only ever charges *itself*, the store is a single
+        bytecode under the GIL, and in deterministic modes only one rank
+        thread runs at a time anyway.  Cross-rank reads (e.g. makespan)
+        happen after the job drains."""
+        self.clocks.vtimes[rank] += seconds
 
     def pmpi_pcontrol(self, rank: int, level: int) -> None:
         """No engine semantics; tool modules interpret (loop abstraction)."""
@@ -804,7 +860,7 @@ class MessageEngine:
 
     def pending_unexpected(self, rank: int) -> int:
         with self._lock:
-            return len(self._mail[rank].unexpected)
+            return self._mail[rank].pending_counts()[0]
 
     @property
     def makespan(self) -> float:

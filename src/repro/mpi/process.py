@@ -29,10 +29,19 @@ class _PMPI:
     stack.  Tools receive this via ``proc.pmpi``.
     """
 
-    __slots__ = ("_proc",)
+    #: Hot entry points are bound eagerly as instance attributes so tool
+    #: traffic (piggyback sends/waits happen on every user message) skips
+    #: ``__getattr__``.  The bottoms are bound methods that read
+    #: ``proc.engine`` at call time, so the bindings survive ``Proc.rebind``.
+    _HOT = ("isend", "issend", "irecv", "wait", "test", "probe", "iprobe")
+
+    __slots__ = ("_proc",) + _HOT
 
     def __init__(self, proc: "Proc"):
         self._proc = proc
+        bottoms = proc._bottoms
+        for point in self._HOT:
+            setattr(self, point, bottoms[point])
 
     #: waitall/waitany bottoms re-enter the instrumented wait chain (see
     #: Proc._pmpi_waitall) and so are not pure PMPI — tools loop over
@@ -65,6 +74,20 @@ class Proc:
         self._bottoms = self._make_bottoms()
         self.pmpi = _PMPI(self)
         self._chains = self._bottoms  # replaced by runtime when a stack exists
+
+    def rebind(self, engine: MessageEngine) -> None:
+        """Point this handle at a fresh engine for another run (session
+        reuse across guided replays — see ``Runtime.recycle``).
+
+        The PMPI bottoms are bound methods that read ``self.engine`` at
+        call time, and the compiled tool chains close over the bottoms —
+        so swapping the engine reference is the entire rebind; chains and
+        the pmpi facade stay valid.
+        """
+        self.engine = engine
+        self.initialized = False
+        self.finalized = False
+        self.world = Communicator(engine.world, self)
 
     # -- identity ------------------------------------------------------------
 
@@ -122,7 +145,7 @@ class Proc:
         self.finalized = True
 
     def _to_world(self, comm: Communicator, peer: int) -> int:
-        if peer in (ANY_SOURCE, PROC_NULL):
+        if peer == ANY_SOURCE or peer == PROC_NULL:
             return peer
         return comm.context.world_rank(peer)
 

@@ -48,6 +48,14 @@ class RequestState(enum.Enum):
     FREED = "freed"
 
 
+# Hot-path constants: member access on an Enum class goes through a
+# descriptor; ``is_complete`` runs on every wait/test so we resolve the
+# members once here.
+_DONE = (RequestState.COMPLETE, RequestState.CONSUMED)
+_RECV = RequestKind.RECV
+_SEND = RequestKind.SEND
+
+
 class Status:
     """Completion information for one receive (or send).
 
@@ -133,24 +141,24 @@ class Request:
 
     @property
     def is_complete(self) -> bool:
-        return self.state in (RequestState.COMPLETE, RequestState.CONSUMED)
+        return self.state in _DONE
 
     @property
     def is_recv(self) -> bool:
-        return self.kind is RequestKind.RECV
+        return self.kind is _RECV
 
     @property
     def is_send(self) -> bool:
-        return self.kind is RequestKind.SEND
+        return self.kind is _SEND
 
     @property
     def is_wildcard_recv(self) -> bool:
         """Did the *user* post this receive with ``MPI_ANY_SOURCE``?"""
-        return self.is_recv and self.posted_src == ANY_SOURCE
+        return self.kind is _RECV and self.posted_src == ANY_SOURCE
 
     @property
     def is_wildcard_tag(self) -> bool:
-        return self.is_recv and self.posted_tag == ANY_TAG
+        return self.kind is _RECV and self.posted_tag == ANY_TAG
 
     # -- user-facing completion sugar -------------------------------------
 

@@ -11,11 +11,34 @@ collateral :class:`~repro.errors.AbortError` which :class:`RunResult`
 attributes to the original failure.  A proven deadlock raises
 :class:`~repro.errors.DeadlockError` in every blocked rank and is reported
 once.
+
+Hot path
+--------
+Guided replays run the same program hundreds of times; starting and
+joining ``nprocs`` OS threads per run dominates the per-replay wall on
+small workloads.  Two mechanisms remove that cost for verification
+sessions while leaving single-run semantics untouched:
+
+* :class:`RankExecutorPool` — ``nprocs`` persistent daemon threads that
+  execute one "generation" of rank mains per run and then park on a
+  condition variable; ``Runtime.run(pool=...)`` dispatches onto them
+  instead of spawning.
+* ``Runtime.recycle()`` — resets a finished Runtime for another run:
+  fresh :class:`MessageEngine` (all matching/scheduling/clock state is
+  engine-owned), rank handles rebound to it, compiled interposition
+  chains reused (the tool stack is per-session; each module's ``setup``
+  re-initialises its per-run state inside ``run()``).
+
+The reset protocol is *reconstruction, not cleaning*: everything a run can
+dirty lives in the engine or in module state rebuilt by ``setup``, so a
+recycled run is bit-identical to a cold-start one.  The differential
+session tests in ``tests/test_verifier.py`` enforce this.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -43,6 +66,10 @@ class RunResult:
     artifacts: dict[str, Any] = field(default_factory=dict)
     central_visits: int = 0
     central_busy: float = 0.0
+    #: real (not virtual) seconds per run phase: ``spawn_reset`` (uid
+    #: resets, module setup, thread creation/dispatch), ``execute`` (rank
+    #: mains), ``finish`` (module artifact collection)
+    phases: dict[str, float] = field(default_factory=dict)
 
     @property
     def deadlocked(self) -> bool:
@@ -86,6 +113,112 @@ class RunResult:
         return f"RunResult(nprocs={self.nprocs}, {state}, makespan={self.makespan:.6f}s)"
 
 
+class RankExecutorPool:
+    """``nprocs`` persistent rank-executor threads reused across runs.
+
+    One *generation* = one run: :meth:`run` hands every worker the same
+    ``target(rank)`` callable, wakes them, and blocks until all ``nprocs``
+    have returned.  Between generations workers park on the pool condition
+    variable — no thread creation or teardown on the per-replay path.
+
+    Workers never hold run state of their own; everything a generation
+    touches lives in the Runtime/engine the target closes over, so a pool
+    is safe to share across recycled runs of *one job shape at a time*
+    (``nprocs`` is fixed at construction).  If a generation fails to drain
+    — a rank main stuck past its deadline even after the engine was killed
+    — the pool marks itself ``broken`` and refuses further runs; callers
+    fall back to fresh threads.
+    """
+
+    def __init__(self, nprocs: int, name: str = "rankpool"):
+        self.nprocs = nprocs
+        self.name = name
+        self.broken = False
+        #: generations executed (diagnostics/bench)
+        self.generations = 0
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._gen = 0
+        self._target: Optional[Callable[[int], None]] = None
+        self._running = 0
+        self._shutdown = False
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(_THREAD_STACK_BYTES)
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(rank,),
+                    name=f"{name}-rank{rank}",
+                    daemon=True,
+                )
+                for rank in range(nprocs)
+            ]
+        finally:
+            threading.stack_size(old_stack)
+        for t in self._threads:
+            t.start()
+
+    def _worker(self, rank: int) -> None:
+        seen_gen = 0
+        while True:
+            with self._cond:
+                while self._gen == seen_gen and not self._shutdown:
+                    self._cond.wait()
+                if self._shutdown:
+                    return
+                seen_gen = self._gen
+                target = self._target
+            try:
+                target(rank)
+            except BaseException:  # noqa: BLE001 - rank mains catch their own;
+                # anything escaping is a harness bug — poison the pool rather
+                # than silently losing a rank
+                self.broken = True
+            with self._cond:
+                self._running -= 1
+                if self._running <= 0:
+                    self._cond.notify_all()
+
+    def run(self, target: Callable[[int], None], timeout: float) -> bool:
+        """Execute one generation: ``target(rank)`` on every worker.
+
+        Returns True once all workers finished, False on timeout (workers
+        may then still be running — see :meth:`wait`).
+        """
+        if self.broken:
+            raise RuntimeError("rank-executor pool is broken")
+        with self._cond:
+            if self._running:
+                raise RuntimeError("rank-executor pool generation already active")
+            self._target = target
+            self._running = self.nprocs
+            self._gen += 1
+            self.generations += 1
+            self._cond.notify_all()
+        return self.wait(timeout)
+
+    def wait(self, timeout: float) -> bool:
+        """Wait until the active generation drains (True) or timeout (False)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._running > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        """Shut down the workers.  Idle workers exit promptly; workers stuck
+        in a generation are daemons and die with the process."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+
 class Runtime:
     """Configure and run one simulated MPI job.
 
@@ -104,6 +237,9 @@ class Runtime:
         ``"run_to_block"`` (deterministic, default), ``"rr"``, ``"free"``.
     cost_model:
         Virtual-time constants; default :class:`CostModel`.
+    indexed:
+        Use the indexed mailbox (default).  ``False`` selects the
+        reference linear-scan matcher — the ablation/"before" path.
     """
 
     def __init__(
@@ -118,14 +254,21 @@ class Runtime:
         args: tuple = (),
         kwargs: Optional[dict] = None,
         name: str = "",
+        indexed: bool = True,
     ):
         self.nprocs = nprocs
         self.program = program
         self.args = tuple(args)
         self.kwargs = dict(kwargs or {})
         self.name = name or getattr(program, "__name__", "program")
+        self._policy_spec = policy
+        self._mode = mode
+        self._cost_model = cost_model
+        self._indexed = indexed
         self.stack = ToolStack(modules)
-        self.engine = MessageEngine(nprocs, cost_model=cost_model, policy=policy, mode=mode)
+        self.engine = MessageEngine(
+            nprocs, cost_model=cost_model, policy=policy, mode=mode, indexed=indexed
+        )
         self.procs = [Proc(r, self.engine, runtime=self) for r in range(nprocs)]
         for proc in self.procs:
             proc._chains = self.stack.compile(proc, proc._bottoms)
@@ -133,16 +276,60 @@ class Runtime:
         self._errors: dict[int, BaseException] = {}
         self._ran = False
 
-    def run(self, join_timeout: float = 900.0) -> RunResult:
+    def recycle(self) -> None:
+        """Reset a finished Runtime for another run (session reuse).
+
+        Builds a fresh :class:`MessageEngine` from the original
+        construction spec — every piece of per-run state (mailboxes,
+        contexts, virtual clocks, scheduling tokens, fatal flags) is
+        engine-owned, so reconstruction *is* the reset — and rebinds the
+        persistent rank handles to it.  Compiled interposition chains are
+        reused: they close over the rank handles' bound bottoms, which
+        read ``proc.engine`` at call time.  Module per-run state is
+        re-initialised by the ``module.setup`` loop inside :meth:`run`.
+
+        Caveat: the match policy is rebuilt from the original *spec*.  If
+        a policy **instance** was passed (e.g. a seeded
+        :class:`~repro.mpi.matching.SeededRandomPolicy`), that same
+        instance — including any internal RNG state it advanced — is
+        reused, so recycled runs are not cold-start-identical; pass the
+        string spec instead, or don't recycle.
+        """
+        if not self._ran:
+            return
+        self.engine = MessageEngine(
+            self.nprocs,
+            cost_model=self._cost_model,
+            policy=self._policy_spec,
+            mode=self._mode,
+            indexed=self._indexed,
+        )
+        for proc in self.procs:
+            proc.rebind(self.engine)
+        self._returns = {}
+        self._errors = {}
+        self._ran = False
+
+    def run(
+        self,
+        join_timeout: float = 900.0,
+        pool: Optional[RankExecutorPool] = None,
+    ) -> RunResult:
         """Execute the job to completion and return its :class:`RunResult`.
 
-        A runtime may only run once (engine state is single-shot); build a
-        fresh Runtime per execution — the verifiers do exactly that for
-        every interleaving.
+        A runtime runs once per (re)cycle; either build a fresh Runtime
+        per execution, or call :meth:`recycle` between runs (verification
+        sessions do the latter to keep replays cheap).
+
+        ``pool``: dispatch rank mains onto a :class:`RankExecutorPool`
+        (must have matching ``nprocs``) instead of spawning threads.
         """
         if self._ran:
-            raise RuntimeError("a Runtime can only run once; create a new one")
+            raise RuntimeError(
+                "a Runtime can only run once; create a new one or recycle()"
+            )
         self._ran = True
+        t0 = time.perf_counter()
 
         # per-run uid numbering: diagnostics quoting a request/envelope must
         # not depend on what this process executed before (guided replays
@@ -153,30 +340,46 @@ class Runtime:
         for module in self.stack:
             module.setup(self)
 
-        old_stack = threading.stack_size()
-        try:
-            threading.stack_size(_THREAD_STACK_BYTES)
-            threads = [
-                threading.Thread(
-                    target=self._rank_main,
-                    args=(rank,),
-                    name=f"{self.name}-rank{rank}",
-                    daemon=True,
+        if pool is not None:
+            if pool.nprocs != self.nprocs:
+                raise ValueError(
+                    f"pool has {pool.nprocs} executors, job needs {self.nprocs}"
                 )
-                for rank in range(self.nprocs)
-            ]
-        finally:
-            threading.stack_size(old_stack)
+            t1 = time.perf_counter()
+            done = pool.run(self._rank_main, timeout=join_timeout)
+            if not done:
+                self.engine.kill(
+                    RuntimeError("runtime join timeout; ranks stuck on pool")
+                )
+                if not pool.wait(30.0):
+                    pool.broken = True
+        else:
+            old_stack = threading.stack_size()
+            try:
+                threading.stack_size(_THREAD_STACK_BYTES)
+                threads = [
+                    threading.Thread(
+                        target=self._rank_main,
+                        args=(rank,),
+                        name=f"{self.name}-rank{rank}",
+                        daemon=True,
+                    )
+                    for rank in range(self.nprocs)
+                ]
+            finally:
+                threading.stack_size(old_stack)
 
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=join_timeout)
-        alive = [t for t in threads if t.is_alive()]
-        if alive:
-            self.engine.kill(RuntimeError(f"runtime join timeout; stuck: {alive}"))
-            for t in alive:
-                t.join(timeout=30.0)
+            for t in threads:
+                t.start()
+            t1 = time.perf_counter()
+            for t in threads:
+                t.join(timeout=join_timeout)
+            alive = [t for t in threads if t.is_alive()]
+            if alive:
+                self.engine.kill(RuntimeError(f"runtime join timeout; stuck: {alive}"))
+                for t in alive:
+                    t.join(timeout=30.0)
+        t2 = time.perf_counter()
 
         result = RunResult(
             nprocs=self.nprocs,
@@ -190,6 +393,12 @@ class Runtime:
             artifact = module.finish(self)
             if artifact is not None:
                 result.artifacts[module.name] = artifact
+        t3 = time.perf_counter()
+        result.phases = {
+            "spawn_reset": t1 - t0,
+            "execute": t2 - t1,
+            "finish": t3 - t2,
+        }
         return result
 
     def _rank_main(self, rank: int) -> None:
@@ -226,6 +435,7 @@ def run_program(
     cost_model: Optional[CostModel] = None,
     args: tuple = (),
     kwargs: Optional[dict] = None,
+    indexed: bool = True,
 ) -> RunResult:
     """One-shot convenience: build a Runtime and run it."""
     return Runtime(
@@ -237,4 +447,5 @@ def run_program(
         cost_model=cost_model,
         args=args,
         kwargs=kwargs,
+        indexed=indexed,
     ).run()

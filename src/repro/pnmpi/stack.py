@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Sequence
 
 from repro.pnmpi.module import ENTRY_POINTS, ToolModule
@@ -41,11 +42,9 @@ class ToolStack:
 
     @staticmethod
     def _wrap(module: ToolModule, point: str, proc, chain: Callable) -> Callable:
-        method = getattr(module, point)
-
-        def wrapped(*args, _method=method, _proc=proc, _chain=chain):
-            return _method(_proc, _chain, *args)
-
+        # functools.partial evaluates the prefix args in C — measurably
+        # cheaper than a Python closure on the per-call hot path.
+        wrapped = partial(getattr(module, point), proc, chain)
         wrapped.__name__ = f"{module.name}.{point}"
         return wrapped
 

@@ -140,6 +140,85 @@ def as_runnable(programs: list[list[tuple]]):
     return runner
 
 
+# ---------------------------------------------------------------------------
+# Reference linear-scan matcher
+# ---------------------------------------------------------------------------
+
+
+class ReferenceMatcher:
+    """An independent model of MPI point-to-point matching for one receiver.
+
+    Mirrors the semantics both production mailboxes
+    (``repro.mpi.matching.LinearMailBox`` / ``IndexedMailBox``) must
+    implement — unexpected-message queue in arrival order, posted-receive
+    queue in post order, first-compatible selection, non-overtaking per
+    ``(source, dest, ctx, tag)`` stream — but shares no code with either:
+    flat lists, explicit scans, and its own compatibility predicate.  The
+    differential property test drives all three with identical operation
+    sequences and requires identical answers.
+
+    Duck-typed over the engine's objects: envelopes expose
+    ``ctx/src/tag/uid``, posted receives ``ctx/effective_src/posted_tag/uid``.
+    """
+
+    def __init__(self):
+        from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+        self._any_src = ANY_SOURCE
+        self._any_tag = ANY_TAG
+        self.unexpected: list = []  # arrival order
+        self.posted: list = []  # post order
+
+    def _selector_accepts(self, env, want_src: int, want_tag: int) -> bool:
+        if want_src != self._any_src and env.src != want_src:
+            return False
+        return want_tag == self._any_tag or env.tag == want_tag
+
+    # -- queries (the MailBox protocol) ------------------------------------
+
+    def candidates_for(self, ctx: int, src: int, tag: int) -> list:
+        """At most one envelope per source — its earliest compatible one —
+        in arrival order of those earliest envelopes."""
+        first_per_src: dict = {}
+        for env in self.unexpected:
+            if env.ctx != ctx or env.src in first_per_src:
+                continue
+            if self._selector_accepts(env, src, tag):
+                first_per_src[env.src] = env
+        return list(first_per_src.values())
+
+    def first_posted_match(self, env):
+        """Oldest posted receive ``env`` may complete — or None, either
+        because nothing compatible is posted or because an older queued
+        envelope of the same (ctx, src, tag) stream must match first."""
+        for older in self.unexpected:
+            if older.ctx == env.ctx and older.src == env.src and older.tag == env.tag:
+                return None
+        for req in self.posted:
+            if req.ctx == env.ctx and self._selector_accepts(
+                env, req.effective_src, req.posted_tag
+            ):
+                return req
+        return None
+
+    # -- mutations ---------------------------------------------------------
+
+    def add_unexpected(self, env) -> None:
+        self.unexpected.append(env)
+
+    def remove_unexpected(self, env) -> None:
+        self.unexpected.remove(env)
+
+    def add_posted(self, req) -> None:
+        self.posted.append(req)
+
+    def remove_posted(self, req) -> None:
+        self.posted.remove(req)
+
+    def pending_counts(self) -> tuple[int, int]:
+        return len(self.unexpected), len(self.posted)
+
+
 def dampi_outcomes(report) -> set:
     """DAMPI's explored wildcard assignments, shaped like the oracle's.
 

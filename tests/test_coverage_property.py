@@ -17,14 +17,22 @@ Lamport clocks lose nothing.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from itertools import product
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dampi.config import DampiConfig
-from repro.dampi.verifier import DampiVerifier
-from repro.mpi.constants import ANY_SOURCE
+from repro.dampi.verifier import DampiVerifier, completed_outcome
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.matching import IndexedMailBox, LinearMailBox
+from repro.mpi.message import Envelope, reset_envelope_ids
+from repro.mpi.request import Request, RequestKind, reset_request_ids
+from repro.workloads.bugzoo import ZOO
+
+from tests.oracle import ReferenceMatcher
+from tests.test_parallel import _report_fingerprint
 
 
 def funnel_program(p, counts: tuple[int, ...], receives: int):
@@ -90,6 +98,118 @@ def test_starved_funnel_deadlocks_in_every_interleaving():
     ).verify()
     assert rep.deadlocks
     assert all("deadlock" in r.error_kinds for r in rep.runs)
+
+
+# ---------------------------------------------------------------------------
+# Differential matching: indexed vs linear vs independent reference
+# ---------------------------------------------------------------------------
+
+#: One mailbox operation: (send?, src/selector draw, tag draw, ctx, pick).
+_mailbox_ops = st.lists(
+    st.tuples(
+        st.booleans(),  # True: an envelope arrives; False: a receive is posted
+        st.integers(min_value=0, max_value=3),  # source / source-selector draw
+        st.integers(min_value=0, max_value=2),  # tag / tag-selector draw
+        st.integers(min_value=0, max_value=1),  # context id
+        st.integers(min_value=0, max_value=7),  # wildcard candidate pick
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=_mailbox_ops)
+def test_mailbox_implementations_agree_with_reference(ops):
+    """Drive :class:`IndexedMailBox`, :class:`LinearMailBox`, and the
+    independent :class:`tests.oracle.ReferenceMatcher` with one random
+    operation sequence under the engine's discipline (arrivals complete the
+    oldest compatible posted receive or queue; receives consume a
+    policy-chosen candidate or post) — every query must agree at every
+    step, and the final queue contents must be identical in order."""
+    reset_envelope_ids()
+    reset_request_ids()
+    ref = ReferenceMatcher()
+    boxes = (ref, LinearMailBox(0), IndexedMailBox(0))
+    seqs: dict = {}
+    for is_send, a, b, ctx, pick in ops:
+        if is_send:
+            src, tag = a % 3, b % 2
+            stream = (src, 0, ctx)
+            seq = seqs.get(stream, 0)
+            seqs[stream] = seq + 1
+            env = Envelope(src, 0, ctx, tag, payload=None, seq=seq)
+            hits = [box.first_posted_match(env) for box in boxes]
+            assert [None if h is None else h.uid for h in hits] == [
+                None if hits[0] is None else hits[0].uid
+            ] * 3
+            if hits[0] is not None:
+                for box, hit in zip(boxes, hits):
+                    box.remove_posted(hit)
+            else:
+                for box in boxes:
+                    box.add_unexpected(env)
+        else:
+            sel_src = (0, 1, 2, ANY_SOURCE)[a % 4]
+            sel_tag = (0, 1, ANY_TAG)[b % 3]
+            cands = [box.candidates_for(ctx, sel_src, sel_tag) for box in boxes]
+            uids = [[e.uid for e in c] for c in cands]
+            assert uids[1] == uids[0] and uids[2] == uids[0]
+            if cands[0]:
+                chosen = cands[0][pick % len(cands[0])]
+                for box in boxes:
+                    box.remove_unexpected(chosen)
+            else:
+                req = Request(
+                    RequestKind.RECV, 0, ctx, posted_src=sel_src, posted_tag=sel_tag
+                )
+                for box in boxes:
+                    box.add_posted(req)
+        counts = {box.pending_counts() for box in boxes}
+        assert len(counts) == 1
+    for box in boxes[1:]:
+        assert [e.uid for e in box.unexpected] == [e.uid for e in ref.unexpected]
+        assert [r.uid for r in box.posted] == [r.uid for r in ref.posted]
+
+
+def _trace_fingerprint(trace):
+    """Everything one run's trace recorded, down to envelope uids."""
+    return (
+        tuple(
+            (
+                e.rank, e.lc, e.index, e.ctx, e.tag, e.kind, e.forced,
+                e.matched_source, e.matched_env_uid, e.matched_seq,
+            )
+            for e in trace.all_epochs()
+        ),
+        tuple(
+            sorted(
+                (pm.epoch, pm.source, pm.env_uid, pm.seq, pm.tag)
+                for pm in trace.potential_matches
+            )
+        ),
+        tuple(trace.unconsumed_decisions),
+        tuple(trace.forced_mismatches),
+    )
+
+
+class TestIndexedMatchingDifferential:
+    """Satellite: ``indexed_matching`` must be a pure representation change
+    — reports, per-run traces, and outcome fingerprints bit-identical to
+    the linear-scan ablation across the whole bug zoo."""
+
+    @pytest.mark.parametrize("entry", ZOO, ids=[e.name for e in ZOO])
+    def test_bugzoo_indexed_vs_linear_identical(self, entry):
+        cfg = DampiConfig(max_interleavings=40, keep_traces=True)
+        indexed = DampiVerifier(entry.program, entry.nprocs, cfg).verify()
+        linear = DampiVerifier(
+            entry.program, entry.nprocs, replace(cfg, indexed_matching=False)
+        ).verify()
+        assert _report_fingerprint(indexed) == _report_fingerprint(linear)
+        assert len(indexed.traces) == len(linear.traces)
+        for ti, tl in zip(indexed.traces, linear.traces):
+            assert _trace_fingerprint(ti) == _trace_fingerprint(tl)
+            assert completed_outcome(ti) == completed_outcome(tl)
 
 
 def test_two_receivers_cross_free_still_exact():

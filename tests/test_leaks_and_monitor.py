@@ -1,7 +1,9 @@
 """Leak checker and §V omission monitor as standalone modules."""
 
+from repro.dampi.config import DampiConfig
 from repro.dampi.leaks import LeakCheckModule, LeakReport
 from repro.dampi.monitor import OmissionMonitorModule
+from repro.dampi.verifier import DampiVerifier
 from repro.mpi.constants import ANY_SOURCE
 from repro.mpi.runtime import run_program
 
@@ -189,3 +191,63 @@ class TestOmissionMonitor:
 
         report = alerts_of(prog, 2)
         assert len(report.alerts[0].outstanding_wildcards) == 2
+
+
+class TestCheckersOnPersistentSession:
+    """The persistent replay session reuses module instances across runs
+    (their per-run state is reset by ``setup``); the leak checker and the
+    omission monitor must keep firing — identically — on pooled runs."""
+
+    def test_leak_check_fires_on_pooled_runs(self):
+        from repro.workloads.patterns import orphan_resources_program
+
+        v = DampiVerifier(orphan_resources_program, 3)
+        try:
+            reports = []
+            for _ in range(3):  # runs 2 and 3 execute on the session
+                result, _ = v.run_once()
+                reports.append(result.artifacts["leaks"])
+            assert v._session is not None
+        finally:
+            v.close()
+        first = reports[0]
+        assert first.has_comm_leak and first.has_request_leak
+        for rep in reports[1:]:  # identical every run: no carry-over, no loss
+            assert rep.has_comm_leak and rep.has_request_leak
+            assert len(rep.comm_leaks) == len(first.comm_leaks)
+            assert len(rep.request_leaks) == len(first.request_leaks)
+            assert [str(l) for l in rep.comm_leaks] == [
+                str(l) for l in first.comm_leaks
+            ]
+
+    def test_monitor_fires_on_pooled_runs(self):
+        from repro.workloads.patterns import fig10_program
+
+        v = DampiVerifier(fig10_program, 3)
+        try:
+            reports = []
+            for _ in range(3):
+                result, _ = v.run_once()
+                reports.append(result.artifacts["monitor"])
+            assert v._session is not None
+        finally:
+            v.close()
+        for rep in reports:
+            assert rep.triggered
+            assert len(rep.alerts) == len(reports[0].alerts)
+            assert rep.alerts[0].rank == 1 and rep.alerts[0].operation == "barrier"
+
+    def test_clean_program_stays_clean_on_pooled_runs(self):
+        def prog(p):
+            dup = p.world.dup()
+            dup.barrier()
+            dup.free()
+
+        v = DampiVerifier(prog, 2)
+        try:
+            for _ in range(3):
+                result, _ = v.run_once()
+                assert result.artifacts["leaks"].clean
+                assert not result.artifacts["monitor"].triggered
+        finally:
+            v.close()

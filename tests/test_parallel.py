@@ -64,14 +64,17 @@ class TestSerialParallelDeterminism:
 
     @pytest.mark.parametrize("bound_k", [0, 1, None])
     def test_lattice_identical_across_bounds(self, bound_k):
+        # force_jobs: actually exercise worker processes even on a
+        # single-CPU host (where jobs>1 would auto-demote to inline)
         cfg = DampiConfig(bound_k=bound_k)
         kwargs = {"receives": 3, "senders": 3}
         serial = DampiVerifier(wildcard_lattice, 4, cfg, kwargs=kwargs).verify()
         parallel = DampiVerifier(
-            wildcard_lattice, 4, replace(cfg, jobs=4), kwargs=kwargs
+            wildcard_lattice, 4, replace(cfg, jobs=4, force_jobs=True), kwargs=kwargs
         ).verify()
         assert _report_fingerprint(serial) == _report_fingerprint(parallel)
         assert parallel.parallel_stats["mode"] == "pool"
+        assert not parallel.parallel_stats["demoted"]
 
     def test_budget_truncation_identical(self):
         cfg = DampiConfig(max_interleavings=7)
@@ -211,9 +214,34 @@ class TestWorkerPoolDegradation:
         serial = DampiVerifier(program, 4, DampiConfig(jobs=1)).verify()
         assert _report_fingerprint(report) == _report_fingerprint(serial)
 
+    def test_single_cpu_hosts_auto_demote_with_reason(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        report = DampiVerifier(
+            wildcard_lattice, 4, DampiConfig(jobs=4), kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        stats = report.parallel_stats
+        assert stats["demoted"] and "single-CPU host" in stats["demote_reason"]
+        assert stats["submitted"] == 0  # the pool never even started
+        serial = DampiVerifier(
+            wildcard_lattice, 4, DampiConfig(jobs=1), kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        assert _report_fingerprint(report) == _report_fingerprint(serial)
+
+    def test_force_jobs_overrides_single_cpu_demotion(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        report = DampiVerifier(
+            wildcard_lattice,
+            4,
+            DampiConfig(jobs=2, force_jobs=True),
+            kwargs={"receives": 2, "senders": 2},
+        ).verify()
+        stats = report.parallel_stats
+        assert not stats["demoted"] and stats["demote_reason"] is None
+        assert stats["submitted"] > 0
+
     def test_dead_worker_reported_as_crash_and_session_survives(self):
         report = DampiVerifier(
-            crash_in_worker_program, 4, DampiConfig(jobs=2)
+            crash_in_worker_program, 4, DampiConfig(jobs=2, force_jobs=True)
         ).verify()
         stats = report.parallel_stats
         assert stats["demoted"] and stats["failures"] >= 1
@@ -231,7 +259,12 @@ class TestWorkerPoolDegradation:
         report = DampiVerifier(
             sleep_in_worker_program,
             4,
-            DampiConfig(jobs=2, job_timeout_seconds=0.15, max_interleavings=3),
+            DampiConfig(
+                jobs=2,
+                force_jobs=True,
+                job_timeout_seconds=0.15,
+                max_interleavings=3,
+            ),
         ).verify()
         timeouts = [e for e in report.errors if "exceeded" in e.detail]
         assert timeouts and all(e.kind == "crash" for e in timeouts)

@@ -1,5 +1,7 @@
 """End-to-end verification: coverage, error finding, witnesses, bounds."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.dampi.config import DampiConfig
@@ -199,6 +201,94 @@ class TestReport:
         ).verify()
         assert rep.runs[0].flip is None  # self run
         assert all(r.flip is not None for r in rep.runs[1:])
+
+
+class TestPersistentSession:
+    """Satellite: the persistent replay session (one runtime + parked rank
+    threads reused across guided replays) is a pure optimisation — its
+    reports must be bit-identical to fresh-runtime-per-run execution, and
+    no state may bleed between the runs it hosts."""
+
+    def _fp(self, rep):
+        from tests.test_parallel import _report_fingerprint
+
+        return _report_fingerprint(rep)
+
+    def test_pooled_reports_bit_identical_to_fresh(self):
+        kwargs = {"receives": 3, "senders": 3}
+        pooled = DampiVerifier(wildcard_lattice, 4, kwargs=kwargs).verify()
+        fresh = DampiVerifier(
+            wildcard_lattice,
+            4,
+            DampiConfig(persistent_session=False),
+            kwargs=kwargs,
+        ).verify()
+        assert self._fp(pooled) == self._fp(fresh)
+
+    def test_pooled_error_finding_bit_identical_to_fresh(self):
+        pooled = DampiVerifier(fig3_program, 3).verify()
+        fresh = DampiVerifier(
+            fig3_program, 3, DampiConfig(persistent_session=False)
+        ).verify()
+        assert self._fp(pooled) == self._fp(fresh)
+        assert (
+            pooled.errors[0].decisions.forced == fresh.errors[0].decisions.forced
+        )
+
+    def test_same_verification_twice_identical(self):
+        # a second full verification (its own session) observes nothing of
+        # the first — the session dies with the verifier
+        reps = [DampiVerifier(fig3_program, 3).verify() for _ in range(2)]
+        assert self._fp(reps[0]) == self._fp(reps[1])
+
+    def test_session_engages_on_second_run_and_reuses_runtime(self):
+        v = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
+        )
+        try:
+            v.run_once()
+            assert v._session is None  # single runs never pay for a session
+            v.run_once()
+            assert v._session is not None
+            runtime, pool = v._session.runtime, v._session.pool
+            v.run_once()
+            assert v._session.runtime is runtime  # recycled, not rebuilt
+            assert v._session.pool is pool
+        finally:
+            v.close()
+        assert v._session is None
+
+    def test_policy_instance_bypasses_session(self):
+        # a policy object may carry hidden state across runs (seeded RNG);
+        # only string specs are session-safe
+        from repro.mpi.matching import SeededRandomPolicy
+
+        v = DampiVerifier(
+            wildcard_lattice,
+            3,
+            DampiConfig(policy=SeededRandomPolicy(7)),
+            kwargs={"receives": 2, "senders": 2},
+        )
+        try:
+            v.run_once()
+            v.run_once()
+            assert v._session is None
+        finally:
+            v.close()
+
+    def test_session_disabled_by_config(self):
+        v = DampiVerifier(
+            wildcard_lattice,
+            3,
+            DampiConfig(persistent_session=False),
+            kwargs={"receives": 2, "senders": 2},
+        )
+        try:
+            v.run_once()
+            v.run_once()
+            assert v._session is None
+        finally:
+            v.close()
 
 
 class TestMeasureSlowdown:
