@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable
@@ -137,6 +138,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-run table (flipped epoch, matches, outcome)",
     )
+    v.add_argument(
+        "--all",
+        action="store_true",
+        help="with --show-runs, print every run (no 50-row cap)",
+    )
+    v.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the campaign event stream as a Chrome trace_event "
+        "JSON (open in chrome://tracing or Perfetto); implies tracing",
+    )
+    v.add_argument(
+        "--events-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the campaign event stream as JSONL; implies tracing",
+    )
+    v.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the report JSON (v3, includes the telemetry block)",
+    )
+    v.add_argument(
+        "--progress",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print a live progress heartbeat to stderr every SECONDS",
+    )
+
+    s = sub.add_parser(
+        "stats",
+        help="summarize a verification's telemetry (report JSON or "
+        "events JSONL from 'verify')",
+    )
+    s.add_argument(
+        "file",
+        type=Path,
+        help="a --json-out report or an --events-out JSONL file",
+    )
 
     e = sub.add_parser(
         "escalate",
@@ -188,13 +234,37 @@ def cmd_verify(args) -> int:
         enable_monitor=not args.no_monitor,
         enable_leak_check=not args.no_leak_check,
         artifacts_dir=args.artifacts_dir,
+        trace_events=bool(args.trace_out or args.events_out),
+        progress_interval_seconds=args.progress,
     )
     cls = IspVerifier if args.baseline else DampiVerifier
     verifier = cls(program, args.nprocs, config, kwargs=kwargs)
     report = verifier.verify()
     print(report.summary())
     if args.show_runs:
-        print(report.run_table())
+        print(report.run_table(limit=None if args.all else 50))
+    if args.trace_out is not None:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(
+            report.events,
+            args.trace_out,
+            label=args.program,
+            nprocs=args.nprocs,
+        )
+        print(f"  chrome trace saved: {args.trace_out}")
+    if args.events_out is not None:
+        from repro.obs.export import write_events_jsonl
+
+        write_events_jsonl(
+            report.events,
+            args.events_out,
+            header={"program": args.program, "nprocs": args.nprocs},
+        )
+        print(f"  event log saved: {args.events_out}")
+    if args.json_out is not None:
+        args.json_out.write_text(report.to_json() + "\n")
+        print(f"  report JSON saved: {args.json_out}")
     if report.monitor_report and report.monitor_report.triggered:
         for alert in report.monitor_report.alerts:
             print(f"  alert: {alert}")
@@ -206,6 +276,40 @@ def cmd_verify(args) -> int:
                 error.decisions.save(path)
                 print(f"  witness saved: {path}")
     return 1 if report.errors else 0
+
+
+def cmd_stats(args) -> int:
+    """Render a campaign summary from a report JSON or an events JSONL.
+
+    The file kind is auto-detected: a report is one JSON object with a
+    ``telemetry`` key; an event log is line-delimited JSON with a header
+    line (see :mod:`repro.obs.export`)."""
+    from repro.obs.export import JSONL_FORMAT, read_events_jsonl
+    from repro.obs.stats import render_events_summary, render_report_summary
+
+    try:
+        text = args.file.read_text()
+    except OSError as e:
+        raise SystemExit(f"cannot read {args.file}: {e}") from e
+    payload = None
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        pass
+    if isinstance(payload, dict) and "telemetry" in payload:
+        print(render_report_summary(payload))
+        return 0
+    try:
+        header, events = read_events_jsonl(args.file)
+    except ValueError as e:
+        raise SystemExit(
+            f"{args.file} is neither a report JSON (--json-out) nor an "
+            f"events JSONL (--events-out): {e}"
+        ) from e
+    if header.get("format") != JSONL_FORMAT:
+        raise SystemExit(f"{args.file}: not a {JSONL_FORMAT} file")
+    print(render_events_summary(header, events))
+    return 0
 
 
 def cmd_escalate(args) -> int:
@@ -247,12 +351,21 @@ def cmd_replay(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "verify":
-        return cmd_verify(args)
-    if args.command == "escalate":
-        return cmd_escalate(args)
-    if args.command == "replay":
-        return cmd_replay(args)
+    try:
+        if args.command == "verify":
+            return cmd_verify(args)
+        if args.command == "stats":
+            return cmd_stats(args)
+        if args.command == "escalate":
+            return cmd_escalate(args)
+        if args.command == "replay":
+            return cmd_replay(args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe mid-table; exit quietly
+        # (dup devnull over stdout so the interpreter's flush-at-exit
+        # doesn't raise the same error again)
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -97,12 +97,14 @@ class DampiClockModule(ToolModule):
         self._forced_mismatches: list = []
         self._engine = None
         self._nprocs = 0
+        self._tracer = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def setup(self, runtime) -> None:
         self._engine = runtime.engine
         self._nprocs = runtime.nprocs
+        self._tracer = getattr(runtime, "tracer", None)
         mode = GUIDED_RUN if self.decisions else SELF_RUN
         self._state = [
             _RankClockState(
@@ -219,6 +221,12 @@ class DampiClockModule(ToolModule):
         )
         state.epochs.append(epoch)
         state.epoch_lcs.append(lc)
+        tr = self._tracer
+        if tr is not None:
+            tr.instant(
+                "epoch", "dampi", rank=proc.world_rank,
+                lc=lc, kind=kind, forced=forced,
+            )
         return epoch
 
     # -- Algorithm 1: MPI_Wait / MPI_Test ------------------------------------------

@@ -80,6 +80,21 @@ class DampiConfig:
     keep_traces:
         Retain every run's full trace on the report (memory-hungry;
         useful in tests).
+    trace_events:
+        Capture structured telemetry events (wildcard matches, epochs,
+        piggyback sends, run/scheduler lifecycle) into the report's
+        ``events`` stream, exportable as JSONL or Chrome trace_event JSON
+        (see :mod:`repro.obs`).  Off by default: the disabled path costs
+        one ``is not None`` test per emitter site
+        (``benchmarks/bench_obs_overhead.py`` bounds it at <3%).
+    trace_buffer:
+        Ring-buffer capacity (events) for each tracer when
+        ``trace_events`` is on; overflow drops the oldest events and is
+        reported in ``telemetry["events"]["dropped"]``.
+    progress_interval_seconds:
+        When set, ``verify()`` writes a live progress heartbeat (runs
+        done/queued, frontier depth, dedup-cache hit rate, ETA) to stderr
+        at most this often.  ``None`` (default) disables.
     artifacts_dir:
         When set, every run's epochs, potential matches, and forced
         decisions are written under this directory as line-oriented JSON
@@ -111,6 +126,9 @@ class DampiConfig:
     trace_ops: bool = False
     keep_traces: bool = False
     artifacts_dir: Optional[str] = None
+    trace_events: bool = False
+    trace_buffer: int = 65536
+    progress_interval_seconds: Optional[float] = None
 
     _CLOCK_IMPLS = ("lamport", "vector", "lamport_dual", "vector_dual")
 
@@ -129,3 +147,10 @@ class DampiConfig:
             raise ValueError("jobs must be None (= cpu_count) or >= 1")
         if self.job_timeout_seconds is not None and self.job_timeout_seconds <= 0:
             raise ValueError("job_timeout_seconds must be None or > 0")
+        if self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be >= 1")
+        if (
+            self.progress_interval_seconds is not None
+            and self.progress_interval_seconds < 0
+        ):
+            raise ValueError("progress_interval_seconds must be None or >= 0")

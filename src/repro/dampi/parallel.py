@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.dampi.decisions import EpochDecisions
+from repro.obs.metrics import MetricsRegistry
 
 _log = logging.getLogger(__name__)
 
@@ -141,6 +142,14 @@ class ReplayExecutor:
         When > 0, log each consumption step's frontier window (that many
         schedules wide) even in serial mode — the input the scaling bench
         feeds its work/span simulation.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` backing the
+        executor's counters under the ``exec.*`` namespace (environment-
+        dependent: cache behaviour varies with worker timing).  A private
+        registry is created when the campaign does not share one.
+    tracer:
+        Campaign-level tracer for scheduler events (submissions,
+        demotions); None disables.
     """
 
     def __init__(
@@ -151,22 +160,29 @@ class ReplayExecutor:
         inline_runner: Optional[Callable] = None,
         trace_waves: int = 0,
         force: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         self.spec = spec
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.timeout = timeout
         self._inline_runner = inline_runner
         self._trace_width = trace_waves
+        self._tracer = tracer
         self.parallel = self.jobs > 1 and spec.picklable()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._futures: dict[ScheduleKey, Any] = {}
         self._done: dict[ScheduleKey, ReplayOutcome] = {}
         # -- observability ----------------------------------------------------
-        self.submitted = 0
-        self.hits = 0
-        self.misses = 0
-        self.failures = 0
-        self.wasted = 0
+        # counters live in a MetricsRegistry (shared with the campaign's
+        # telemetry when verify() built this executor); the attribute names
+        # tests and benches read are properties over the registry values
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_submitted = self.metrics.counter("exec.submitted")
+        self._c_hits = self.metrics.counter("exec.cache_hits")
+        self._c_misses = self.metrics.counter("exec.cache_misses")
+        self._c_failures = self.metrics.counter("exec.failures")
+        self._c_wasted = self.metrics.counter("exec.wasted")
         self.demoted = False
         self.demote_reason: Optional[str] = None
         self.consumed_keys: list[ScheduleKey] = []
@@ -186,6 +202,28 @@ class ReplayExecutor:
                 f"{self.jobs} compute-bound replay workers concurrently"
             )
             _log.info("%s", self.demote_reason)
+
+    # -- counter views ---------------------------------------------------------
+
+    @property
+    def submitted(self) -> int:
+        return self._c_submitted.value
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def failures(self) -> int:
+        return self._c_failures.value
+
+    @property
+    def wasted(self) -> int:
+        return self._c_wasted.value
 
     # -- sizing ---------------------------------------------------------------
 
@@ -215,14 +253,17 @@ class ReplayExecutor:
         if self.demote_reason is None:
             self.demote_reason = reason
             _log.info("replay pool demoted: %s", reason)
-        self.wasted += len(self._futures)
+            tr = self._tracer
+            if tr is not None:
+                tr.instant("pool_demote", "sched", reason=reason)
+        self._c_wasted.inc(len(self._futures))
         self._futures.clear()
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
     def close(self) -> None:
-        self.wasted += len(self._futures) + len(self._done)
+        self._c_wasted.inc(len(self._futures) + len(self._done))
         self._futures.clear()
         self._done.clear()
         if self._pool is not None:
@@ -238,7 +279,10 @@ class ReplayExecutor:
         pool = self._ensure_pool()
         try:
             self._futures[key] = pool.submit(_execute_replay, self.spec, decisions)
-            self.submitted += 1
+            self._c_submitted.inc()
+            tr = self._tracer
+            if tr is not None:
+                tr.instant("pool_submit", "sched", flip=decisions.flip)
         except Exception:  # pool already broken/shut down
             self._demote("pool submission failed")
 
@@ -258,11 +302,11 @@ class ReplayExecutor:
         self.consumed_seconds.append(out.duration)
         self.miss_flags.append(out.miss)
         if out.failure is not None:
-            self.failures += 1
+            self._c_failures.inc()
         elif out.miss:
-            self.misses += 1
+            self._c_misses.inc()
         else:
-            self.hits += 1
+            self._c_hits.inc()
         return out
 
     def _run_inline(self, decisions: EpochDecisions) -> ReplayOutcome:

@@ -74,6 +74,7 @@ class PiggybackModule(ToolModule):
         #: inline mechanism: recv request uid -> unpacked stamp
         self._inline_stamp: dict[int, Any] = {}
         self._lock = threading.Lock()
+        self._tracer = None
         #: mechanism statistics (ablation benches read these)
         self.pb_messages = 0
         self.deferred_pb_recvs = 0
@@ -87,6 +88,7 @@ class PiggybackModule(ToolModule):
 
     def setup(self, runtime) -> None:
         self._engine = runtime.engine
+        self._tracer = getattr(runtime, "tracer", None)
         world = runtime.engine.world
         self._shadow_ctx = {world.ctx: runtime.engine.new_tool_context(world, "pb.world")}
         self._shadow_comm = {}
@@ -142,6 +144,9 @@ class PiggybackModule(ToolModule):
         pb = proc.pmpi.isend(self.shadow_comm(proc, comm.ctx), self._stamp(proc), dest, tag)
         self._pb_send[req.uid] = pb
         self.pb_messages += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.instant("pb_send", "pb", rank=proc.world_rank, dest=dest, tag=tag)
         return req
 
     def issend(self, proc, chain, comm, payload, dest, tag):
@@ -157,6 +162,9 @@ class PiggybackModule(ToolModule):
         pb = proc.pmpi.isend(self.shadow_comm(proc, comm.ctx), self._stamp(proc), dest, tag)
         self._pb_send[req.uid] = pb
         self.pb_messages += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.instant("pb_send", "pb", rank=proc.world_rank, dest=dest, tag=tag)
         return req
 
     # -- interposition: receives ------------------------------------------------
@@ -175,6 +183,13 @@ class PiggybackModule(ToolModule):
             self._pb_recv[req.uid] = pb
         else:
             self.deferred_pb_recvs += 1
+            tr = self._tracer
+            if tr is not None:
+                # paper §II-D: the stamp receive is posted only once the
+                # wildcard completes and its source/tag are known
+                tr.instant(
+                    "pb_deferred_recv", "pb", rank=proc.world_rank, tag=tag
+                )
         return req
 
     # -- interposition: completion ------------------------------------------------

@@ -26,6 +26,8 @@ from repro.dampi.piggyback import PiggybackModule
 from repro.errors import DeadlockError
 from repro.mpi.runtime import RankExecutorPool, Runtime, RunResult
 from repro.mpi.tracing import TraceModule
+from repro.obs.campaign import CampaignTelemetry
+from repro.obs.trace import Tracer
 
 
 class _ReplaySession:
@@ -63,6 +65,7 @@ class _ReplaySession:
             args=verifier.args,
             kwargs=verifier.kwargs,
             indexed=cfg.indexed_matching,
+            tracer=verifier._run_tracer,
         )
         self.pool = RankExecutorPool(
             verifier.nprocs, name=f"{self.runtime.name}-session"
@@ -142,6 +145,12 @@ class VerificationReport:
     bound_frozen: int = 0
     #: replay-executor counters (mode, waves, cache hits/misses, ...)
     parallel_stats: Optional[dict] = None
+    #: telemetry block (metrics snapshot + event-stream accounting),
+    #: filled in by CampaignTelemetry.finalize; report JSON v3
+    telemetry: Optional[dict] = None
+    #: merged campaign event stream (list of repro.obs.trace.Event);
+    #: empty unless config.trace_events
+    events: list = field(default_factory=list)
     runs: list[RunRecord] = field(default_factory=list)
     traces: list[RunTrace] = field(default_factory=list)
 
@@ -188,7 +197,7 @@ class VerificationReport:
         import json
 
         payload = {
-            "version": 2,
+            "version": 3,
             "nprocs": self.nprocs,
             "clock_impl": self.config.clock_impl,
             "bound_k": self.config.bound_k,
@@ -227,6 +236,7 @@ class VerificationReport:
                 }
                 for r in self.runs
             ],
+            "telemetry": self.telemetry or {},
         }
         return json.dumps(payload, indent=2)
 
@@ -251,7 +261,9 @@ class VerificationReport:
                 state += " [diverged]"
             lines.append(f"{r.index:>5} | {flip:>14} | {matches:<40} | {state}")
         if limit is not None and len(self.runs) > limit:
-            lines.append(f"  ... {len(self.runs) - limit} more runs")
+            lines.append(
+                f"  ... {len(self.runs) - limit} more runs (use --all)"
+            )
         return "\n".join(lines)
 
 
@@ -285,6 +297,13 @@ class DampiVerifier:
         self.kwargs = kwargs or {}
         self._session: Optional[_ReplaySession] = None
         self._runs_started = 0
+        #: per-run event tracer handed to every Runtime this verifier
+        #: builds; None (the fast path) unless config.trace_events
+        self._run_tracer: Optional[Tracer] = (
+            Tracer(buffer=self.config.trace_buffer)
+            if self.config.trace_events
+            else None
+        )
 
     # -- module stack -----------------------------------------------------------
 
@@ -343,6 +362,7 @@ class DampiVerifier:
             args=self.args,
             kwargs=self.kwargs,
             indexed=cfg.indexed_matching,
+            tracer=self._run_tracer,
         )
         result = runtime.run()
         trace = result.artifacts["dampi"]
@@ -350,13 +370,19 @@ class DampiVerifier:
 
     def close(self) -> None:
         """Release the persistent replay session (rank-executor threads),
-        if one was created.  ``verify()`` calls this on exit; direct
-        ``run_once`` users looping over schedules should too."""
-        session, self._session = self._session, None
+        if one was created.  Idempotent: safe to call repeatedly, from
+        ``verify()``'s exit path, user code, and ``__del__`` alike.
+        ``getattr`` (not attribute access) keeps it safe even on a
+        partially constructed instance."""
+        session = getattr(self, "_session", None)
+        self._session = None
         if session is not None:
             session.close()
 
     def __del__(self):  # best-effort; daemon threads die with the process
+        # At interpreter shutdown module globals may already be None and
+        # attributes torn down, raising AttributeError (or anything else)
+        # from innocent code — never let that escape a finalizer.
         try:
             self.close()
         except Exception:
@@ -369,7 +395,9 @@ class DampiVerifier:
         this verifier (subclasses with additional state override)."""
         return {}
 
-    def _make_executor(self) -> ReplayExecutor:
+    def _make_executor(
+        self, telemetry: Optional[CampaignTelemetry] = None
+    ) -> ReplayExecutor:
         spec = ReplaySpec(
             verifier_cls=type(self),
             program=self.program,
@@ -385,6 +413,8 @@ class DampiVerifier:
             timeout=self.config.job_timeout_seconds,
             inline_runner=self.run_once,
             force=self.config.force_jobs,
+            metrics=telemetry.metrics if telemetry is not None else None,
+            tracer=telemetry.tracer if telemetry is not None else None,
         )
 
     def verify(self, executor: Optional[ReplayExecutor] = None) -> VerificationReport:
@@ -400,6 +430,7 @@ class DampiVerifier:
         """
         cfg = self.config
         report = VerificationReport(nprocs=self.nprocs, config=cfg)
+        telemetry = CampaignTelemetry(cfg)
         started = time.perf_counter()
         generator = ScheduleGenerator(
             bound_k=cfg.bound_k, auto_loop_threshold=cfg.auto_loop_threshold
@@ -411,17 +442,26 @@ class DampiVerifier:
 
             store = ArtifactStore(cfg.artifacts_dir)
 
+        tele_token = telemetry.run_started()
         result, trace = self.run_once()
         if store is not None:
             store.write_run(0, trace)
         self._record_run(report, 0, None, result, trace, seen_error_keys)
+        telemetry.record_run(
+            0,
+            result,
+            trace,
+            flip=None,
+            error_kinds=report.runs[-1].error_kinds,
+            started=tele_token,
+        )
         report.wildcards_analyzed = trace.wildcard_count
         report.self_run_vtime = result.makespan
         report.leak_report = result.artifacts.get("leaks")
         report.monitor_report = result.artifacts.get("monitor")
         generator.seed(trace)
         if executor is None:
-            executor = self._make_executor()
+            executor = self._make_executor(telemetry)
         witnessed_outcomes: set[frozenset] = {report.runs[0].outcome}
 
         run_index = 0
@@ -439,12 +479,15 @@ class DampiVerifier:
                 if decisions is None:
                     break
                 run_index += 1
+                tele_token = telemetry.run_started()
                 outcome = executor.run(decisions, batch)
                 if outcome.failure is not None:
                     generator.abandon()
                     self._record_worker_failure(
                         report, run_index, decisions, outcome.failure, seen_error_keys
                     )
+                    telemetry.record_failure(run_index, outcome.failure)
+                    telemetry.heartbeat(report.interleavings, generator, executor)
                     continue
                 result, trace = outcome.result, outcome.trace
                 if store is not None:
@@ -458,6 +501,16 @@ class DampiVerifier:
                 )
                 witnessed_outcomes.add(fingerprint)
                 self._record_run(report, run_index, decisions, result, trace, seen_error_keys)
+                rec = report.runs[-1]
+                telemetry.record_run(
+                    run_index,
+                    result,
+                    trace,
+                    flip=rec.flip,
+                    error_kinds=rec.error_kinds,
+                    started=tele_token,
+                )
+                telemetry.heartbeat(report.interleavings, generator, executor)
         finally:
             executor.close()
             self.close()
@@ -466,6 +519,8 @@ class DampiVerifier:
         report.bound_frozen = generator.distance_frozen
         report.parallel_stats = executor.stats()
         report.wall_seconds = time.perf_counter() - started
+        telemetry.record_executor(report.parallel_stats)
+        telemetry.finalize(report)
         return report
 
     def _record_worker_failure(

@@ -109,6 +109,7 @@ class MessageEngine:
         policy="arrival",
         mode: str = "run_to_block",
         indexed: bool = True,
+        tracer=None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -118,6 +119,10 @@ class MessageEngine:
         self.mode = mode
         self.cost = cost_model or CostModel()
         self.policy = make_policy(policy)
+        #: structured event sink (:class:`repro.obs.trace.Tracer`) or None.
+        #: Hot-path emitters guard with ``is not None`` — the disabled
+        #: tracer must stay within the bench_obs_overhead budget.
+        self.tracer = tracer
         self.clocks = VirtualClocks(nprocs)
         self.stats = EngineStats()
         #: Serialised central resource; only the ISP module visits it.
@@ -195,6 +200,12 @@ class MessageEngine:
     def _set_fatal(self, exc: BaseException) -> None:
         if self._fatal is None:
             self._fatal = exc
+            tr = self.tracer
+            if tr is not None and isinstance(exc, DeadlockError):
+                tr.instant(
+                    "deadlock", "engine",
+                    blocked=tuple(sorted(exc.blocked)),
+                )
         for st in self._ranks:
             st.cond.notify_all()
 
@@ -418,6 +429,12 @@ class MessageEngine:
         stats.matches += 1
         if req.posted_src == ANY_SOURCE:
             stats.wildcard_matches += 1
+            tr = self.tracer
+            if tr is not None:
+                tr.instant(
+                    "wildcard_match", "match", rank=req.owner,
+                    src=env.src, tag=env.tag, seq=env.seq,
+                )
         if env.sync_req is not None:
             # rendezvous: the synchronous send completes at match time
             sreq = env.sync_req
@@ -453,7 +470,19 @@ class MessageEngine:
             mb = self._mail[rank]
             candidates = mb.candidates_for(ctx_id, src_world, tag)
             if candidates:
-                env = candidates[0] if len(candidates) == 1 else self.policy.choose(candidates)
+                if len(candidates) == 1:
+                    env = candidates[0]
+                else:
+                    env = self.policy.choose(candidates)
+                    tr = self.tracer
+                    if tr is not None and src_world == ANY_SOURCE:
+                        # the native non-determinism DAMPI explores: the
+                        # policy arbitrated among multiple eligible sends
+                        tr.instant(
+                            "policy_choice", "match", rank=rank,
+                            candidates=len(candidates), chosen=env.src,
+                            tag=env.tag,
+                        )
                 mb.remove_unexpected(env)
                 self._complete_recv(req, env)
             else:

@@ -43,10 +43,14 @@ class _PMPI:
         for point in self._HOT:
             setattr(self, point, bottoms[point])
 
-    #: waitall/waitany bottoms re-enter the instrumented wait chain (see
-    #: Proc._pmpi_waitall) and so are not pure PMPI — tools loop over
-    #: ``pmpi.wait`` themselves instead.
-    _IMPURE = frozenset({"waitall", "waitany"})
+    #: These bottoms re-enter instrumented chains (see Proc._pmpi_waitall:
+    #: waitall completes each request through the *instrumented* wait; the
+    #: ssend/sendrecv/waitsome/testall bottoms are compositions over
+    #: instrumented isend/irecv/wait) and so are not pure PMPI — tools
+    #: compose over ``pmpi.isend``/``pmpi.wait`` themselves instead.
+    _IMPURE = frozenset(
+        {"waitall", "waitany", "waitsome", "testall", "ssend", "sendrecv"}
+    )
 
     def __getattr__(self, point: str):
         if point in self._IMPURE:
@@ -110,11 +114,15 @@ class Proc:
             "finalize": self._pmpi_finalize,
             "isend": self._pmpi_isend,
             "issend": self._pmpi_issend,
+            "ssend": self._pmpi_ssend,
             "irecv": self._pmpi_irecv,
+            "sendrecv": self._pmpi_sendrecv,
             "wait": self._pmpi_wait,
             "waitall": self._pmpi_waitall,
             "waitany": self._pmpi_waitany,
+            "waitsome": self._pmpi_waitsome,
             "test": self._pmpi_test,
+            "testall": self._pmpi_testall,
             "probe": self._pmpi_probe,
             "iprobe": self._pmpi_iprobe,
             "barrier": self._pmpi_barrier,
@@ -192,6 +200,43 @@ class Proc:
     def _pmpi_waitany(self, reqs: list) -> tuple:
         idx = self.engine.pmpi_waitany_block(self.world_rank, list(reqs))
         return idx, self.wait(reqs[idx])
+
+    def _pmpi_waitsome(self, reqs: list) -> tuple:
+        """Bottom of the waitsome chain: block for one completion, then
+        consume every completed request through the instrumented wait
+        chain (same per-request tool guarantees as ``_pmpi_waitall``)."""
+        self.engine.pmpi_waitany_block(self.world_rank, reqs)
+        indices, statuses = [], []
+        for i, r in enumerate(reqs):
+            if r.state is RequestState.COMPLETE:
+                indices.append(i)
+                statuses.append(self.wait(r))
+        return indices, statuses
+
+    def _pmpi_testall(self, reqs: list) -> tuple:
+        if all(r.is_complete for r in reqs):
+            return True, [self.wait(r) for r in reqs]
+        # a scheduling point, like test, to keep poll loops live
+        self.engine.pmpi_yield(self.world_rank)
+        return False, None
+
+    def _pmpi_ssend(self, comm: Communicator, payload: Any, dest: int, tag: int) -> None:
+        """Bottom of the ssend chain: composed from the *instrumented*
+        issend/wait so tool work (piggyback, clock) still happens once per
+        constituent; modules charging MPI_Ssend as a single call wrap the
+        ``ssend`` entry point and suppress their constituent hooks."""
+        req = self.issend(comm, payload, dest, tag)
+        self.wait(req)
+
+    def _pmpi_sendrecv(self, comm: Communicator, payload: Any, dest: int,
+                       source: int, sendtag: int, recvtag: int) -> tuple:
+        """Bottom of the sendrecv chain; returns ``(data, recv_status)`` so
+        the public wrapper can fill a user-supplied Status object."""
+        rreq = self.irecv(comm, source, recvtag)
+        sreq = self.isend(comm, payload, dest, sendtag)
+        self.wait(sreq)
+        st = self.wait(rreq)
+        return rreq.data, st
 
     def _pmpi_test(self, req: Request):
         return self.engine.pmpi_test(self.world_rank, req)
@@ -388,8 +433,7 @@ class Proc:
     def ssend(self, comm, payload, dest, tag=0) -> None:
         """Blocking synchronous send: returns only once the message has
         been matched by a receive (MPI_Ssend)."""
-        req = self.issend(comm, payload, dest, tag)
-        self.wait(req)
+        self._chains["ssend"](comm, payload, dest, tag)
 
     def recv(self, comm, source=ANY_SOURCE, tag=ANY_TAG, status: Optional[Status] = None,
              max_count=None):
@@ -403,15 +447,14 @@ class Proc:
 
     def sendrecv(self, comm, payload, dest, source=ANY_SOURCE, sendtag=0,
                  recvtag=ANY_TAG, status: Optional[Status] = None):
-        rreq = self.irecv(comm, source, recvtag)
-        sreq = self.isend(comm, payload, dest, sendtag)
-        self.wait(sreq)
-        st = self.wait(rreq)
+        data, st = self._chains["sendrecv"](
+            comm, payload, dest, source, sendtag, recvtag
+        )
         if status is not None:
             status.source = st.source
             status.tag = st.tag
             status._payload = st._payload
-        return rreq.data
+        return data
 
     def waitall(self, reqs: Sequence[Request]) -> list[Status]:
         """Complete every request (``MPI_Waitall``); order of blocking is
@@ -427,14 +470,7 @@ class Proc:
         """Block until at least one request completes, then consume *every*
         currently-completed one (``MPI_Waitsome``); returns the indices and
         statuses, parallel lists."""
-        reqs = list(reqs)
-        self.engine.pmpi_waitany_block(self.world_rank, reqs)
-        indices, statuses = [], []
-        for i, r in enumerate(reqs):
-            if r.state is RequestState.COMPLETE:
-                indices.append(i)
-                statuses.append(self.wait(r))
-        return indices, statuses
+        return self._chains["waitsome"](list(reqs))
 
     def testsome(self, reqs: Sequence[Request]) -> tuple[list[int], list[Status]]:
         """Consume every currently-completed request without blocking
@@ -453,11 +489,7 @@ class Proc:
         """``MPI_Testall``: succeed only if every request is complete.
 
         Does not consume anything on failure (MPI semantics)."""
-        if all(r.is_complete for r in reqs):
-            return True, [self.wait(r) for r in reqs]
-        # a scheduling point, like test, to keep poll loops live
-        self.engine.pmpi_yield(self.world_rank)
-        return False, None
+        return self._chains["testall"](list(reqs))
 
     def __repr__(self) -> str:
         return f"Proc(rank={self.world_rank}/{self.size})"

@@ -66,6 +66,9 @@ class RunResult:
     artifacts: dict[str, Any] = field(default_factory=dict)
     central_visits: int = 0
     central_busy: float = 0.0
+    #: engine-level counters (envelopes, bytes, matches, wildcard_matches,
+    #: collectives) — feeds the campaign's ``engine.*`` telemetry counters
+    stats: dict[str, int] = field(default_factory=dict)
     #: real (not virtual) seconds per run phase: ``spawn_reset`` (uid
     #: resets, module setup, thread creation/dispatch), ``execute`` (rank
     #: mains), ``finish`` (module artifact collection)
@@ -255,6 +258,7 @@ class Runtime:
         kwargs: Optional[dict] = None,
         name: str = "",
         indexed: bool = True,
+        tracer=None,
     ):
         self.nprocs = nprocs
         self.program = program
@@ -265,9 +269,14 @@ class Runtime:
         self._mode = mode
         self._cost_model = cost_model
         self._indexed = indexed
+        #: per-run event tracer (:class:`repro.obs.trace.Tracer`) or None;
+        #: shared with the engine and the tool modules, reset at the top of
+        #: every run and drained into ``RunResult.artifacts["obs"]``
+        self.tracer = tracer
         self.stack = ToolStack(modules)
         self.engine = MessageEngine(
-            nprocs, cost_model=cost_model, policy=policy, mode=mode, indexed=indexed
+            nprocs, cost_model=cost_model, policy=policy, mode=mode,
+            indexed=indexed, tracer=tracer,
         )
         self.procs = [Proc(r, self.engine, runtime=self) for r in range(nprocs)]
         for proc in self.procs:
@@ -303,6 +312,7 @@ class Runtime:
             policy=self._policy_spec,
             mode=self._mode,
             indexed=self._indexed,
+            tracer=self.tracer,
         )
         for proc in self.procs:
             proc.rebind(self.engine)
@@ -330,6 +340,9 @@ class Runtime:
             )
         self._ran = True
         t0 = time.perf_counter()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.reset()  # run-relative timestamps
 
         # per-run uid numbering: diagnostics quoting a request/envelope must
         # not depend on what this process executed before (guided replays
@@ -381,6 +394,7 @@ class Runtime:
                     t.join(timeout=30.0)
         t2 = time.perf_counter()
 
+        engine_stats = self.engine.stats
         result = RunResult(
             nprocs=self.nprocs,
             returns=dict(self._returns),
@@ -388,11 +402,22 @@ class Runtime:
             makespan=self.engine.makespan,
             central_visits=self.engine.central.visits,
             central_busy=self.engine.central.busy_until,
+            stats={
+                "envelopes": engine_stats.envelopes,
+                "bytes": engine_stats.bytes,
+                "collectives": engine_stats.collectives,
+                "matches": engine_stats.matches,
+                "wildcard_matches": engine_stats.wildcard_matches,
+            },
         )
         for module in self.stack:
             artifact = module.finish(self)
             if artifact is not None:
                 result.artifacts[module.name] = artifact
+        if tracer is not None:
+            # the run's event stream travels with the result (pickled back
+            # from replay workers) for campaign-level merging
+            result.artifacts["obs"] = tracer.drain()
         t3 = time.perf_counter()
         result.phases = {
             "spawn_reset": t1 - t0,

@@ -28,13 +28,17 @@ class OpClass(enum.Enum):
 CLASSIFICATION: dict[str, OpClass] = {
     "isend": OpClass.SEND_RECV,
     "issend": OpClass.SEND_RECV,
+    "ssend": OpClass.SEND_RECV,
     "irecv": OpClass.SEND_RECV,
+    "sendrecv": OpClass.SEND_RECV,
     "probe": OpClass.SEND_RECV,
     "iprobe": OpClass.SEND_RECV,
     "wait": OpClass.WAIT,
     "waitall": OpClass.WAIT,
     "waitany": OpClass.WAIT,
+    "waitsome": OpClass.WAIT,
     "test": OpClass.WAIT,
+    "testall": OpClass.WAIT,
     "barrier": OpClass.COLLECTIVE,
     "ibarrier": OpClass.COLLECTIVE,
     "ibcast": OpClass.COLLECTIVE,
@@ -53,6 +57,9 @@ CLASSIFICATION: dict[str, OpClass] = {
     "comm_free": OpClass.LOCAL,
     "request_free": OpClass.LOCAL,
     "pcontrol": OpClass.LOCAL,
+    "init": OpClass.LOCAL,
+    "finalize": OpClass.LOCAL,
+    "compute": OpClass.LOCAL,
 }
 
 
@@ -111,17 +118,31 @@ class TraceModule(ToolModule):
     # shorter but opaque; spelled out, the stack's override detection and
     # tracebacks stay readable.
 
+    # The i*/wait wrappers are gated on _in_batch: inside a batched call
+    # (waitall/waitany/waitsome/testall/ssend/sendrecv) the batch itself
+    # was already counted as one op, matching how the paper's Table I
+    # counts MPI_Waitall or MPI_Sendrecv once.
+
     def isend(self, proc, chain, *a):
-        self._bump(proc, "isend")
+        if not self._in_batch[proc.world_rank]:
+            self._bump(proc, "isend")
         return chain(*a)
 
     def issend(self, proc, chain, *a):
-        self._bump(proc, "issend")
+        if not self._in_batch[proc.world_rank]:
+            self._bump(proc, "issend")
         return chain(*a)
 
+    def ssend(self, proc, chain, *a):
+        return self._batched(proc, "ssend", chain, *a)
+
     def irecv(self, proc, chain, *a):
-        self._bump(proc, "irecv")
+        if not self._in_batch[proc.world_rank]:
+            self._bump(proc, "irecv")
         return chain(*a)
+
+    def sendrecv(self, proc, chain, *a):
+        return self._batched(proc, "sendrecv", chain, *a)
 
     def probe(self, proc, chain, *a):
         self._bump(proc, "probe")
@@ -131,32 +152,36 @@ class TraceModule(ToolModule):
         self._bump(proc, "iprobe")
         return chain(*a)
 
+    def _batched(self, proc, point, chain, *a):
+        """Count the batch op once and suppress its constituent
+        isend/issend/irecv/wait wrappers while the chain runs."""
+        self._bump(proc, point)
+        self._in_batch[proc.world_rank] += 1
+        try:
+            return chain(*a)
+        finally:
+            self._in_batch[proc.world_rank] -= 1
+
     def wait(self, proc, chain, *a):
-        # inside a waitall/waitany the batch was already counted as one
-        # Wait op (the paper's Table I counts MPI_Waitall once)
         if not self._in_batch[proc.world_rank]:
             self._bump(proc, "wait")
         return chain(*a)
 
     def waitall(self, proc, chain, reqs):
-        self._bump(proc, "waitall")
-        self._in_batch[proc.world_rank] += 1
-        try:
-            return chain(reqs)
-        finally:
-            self._in_batch[proc.world_rank] -= 1
+        return self._batched(proc, "waitall", chain, reqs)
 
     def waitany(self, proc, chain, reqs):
-        self._bump(proc, "waitany")
-        self._in_batch[proc.world_rank] += 1
-        try:
-            return chain(reqs)
-        finally:
-            self._in_batch[proc.world_rank] -= 1
+        return self._batched(proc, "waitany", chain, reqs)
+
+    def waitsome(self, proc, chain, reqs):
+        return self._batched(proc, "waitsome", chain, reqs)
 
     def test(self, proc, chain, *a):
         self._bump(proc, "test")
         return chain(*a)
+
+    def testall(self, proc, chain, reqs):
+        return self._batched(proc, "testall", chain, reqs)
 
     def barrier(self, proc, chain, *a):
         self._bump(proc, "barrier")

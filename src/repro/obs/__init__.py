@@ -1,0 +1,46 @@
+"""Campaign observability: event tracing, metrics, exporters, progress.
+
+The telemetry layer answers "where did this campaign spend its effort"
+without perturbing what it measures:
+
+- :mod:`repro.obs.trace` — ring-buffered structured events (spans and
+  instants) with rank/run context.  A disabled tracer is ``None`` at every
+  emitter site (one attribute load + ``is not None`` test on the hot path)
+  or the module-level :data:`~repro.obs.trace.NULL_TRACER` no-op.
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-boundary
+  histograms in a :class:`~repro.obs.metrics.MetricsRegistry`; the
+  deterministic namespaces (``engine.*``, ``pb.*``, ``campaign.*``,
+  ``run.*``) are reproducible bit-for-bit across ``--jobs`` settings.
+- :mod:`repro.obs.export` — JSONL event logs and Chrome ``trace_event``
+  JSON (chrome://tracing / Perfetto, per-rank lanes).
+- :mod:`repro.obs.progress` — throttled stderr heartbeat for long
+  campaigns.
+- :mod:`repro.obs.campaign` — :class:`~repro.obs.campaign.CampaignTelemetry`,
+  the per-verification aggregator wired into
+  :meth:`repro.dampi.verifier.DampiVerifier.verify`.
+"""
+
+from repro.obs.campaign import CampaignTelemetry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    deterministic_view,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.trace import NULL_TRACER, Event, Tracer, event_signature
+
+__all__ = [
+    "CampaignTelemetry",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ProgressReporter",
+    "Tracer",
+    "deterministic_view",
+    "event_signature",
+]

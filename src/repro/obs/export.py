@@ -1,0 +1,137 @@
+"""Event-stream exporters: JSONL logs and Chrome ``trace_event`` JSON.
+
+JSONL format (``--events-out``): line 1 is a header object
+(``{"format": "repro-obs-events", "version": 1, ...}``); every following
+line is one event with the tracer-relative ``ts`` in seconds.  The format
+round-trips through :func:`read_events_jsonl` so ``repro stats`` and the
+tests can consume what ``repro verify`` wrote.
+
+Chrome format (``--trace-out``): the standard ``{"traceEvents": [...]}``
+object-wrapper flavour, loadable in chrome://tracing or Perfetto.  All
+events share one ``pid``; lanes (``tid``) are per MPI rank, with lane 0
+reserved for campaign/scheduler events that carry no rank.  Timestamps
+convert to microseconds, the unit the format mandates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from repro.obs.trace import Event
+
+JSONL_FORMAT = "repro-obs-events"
+JSONL_VERSION = 1
+
+#: Chrome lane for events without a rank (scheduler, campaign lifecycle).
+SCHEDULER_LANE = 0
+
+
+def event_to_dict(event: Event) -> dict:
+    d = {
+        "name": event.name,
+        "cat": event.cat,
+        "ph": event.ph,
+        "ts": event.ts,
+    }
+    if event.ph == "X":
+        d["dur"] = event.dur
+    if event.rank is not None:
+        d["rank"] = event.rank
+    if event.run is not None:
+        d["run"] = event.run
+    if event.args:
+        d["args"] = dict(event.args)
+    return d
+
+
+def event_from_dict(d: dict) -> Event:
+    return Event(
+        name=d["name"], cat=d["cat"], ts=d["ts"], ph=d.get("ph", "i"),
+        dur=d.get("dur", 0.0), rank=d.get("rank"), run=d.get("run"),
+        args=tuple(sorted((d.get("args") or {}).items())),
+    )
+
+
+def write_events_jsonl(events: Iterable[Event], path,
+                       header: Optional[dict] = None) -> None:
+    path = Path(path)
+    head = {"format": JSONL_FORMAT, "version": JSONL_VERSION}
+    head.update(header or {})
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(head, sort_keys=True) + "\n")
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
+
+
+def read_events_jsonl(path) -> Tuple[dict, List[Event]]:
+    header: dict = {}
+    events: List[Event] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if i == 0 and record.get("format") == JSONL_FORMAT:
+                header = record
+                continue
+            events.append(event_from_dict(record))
+    return header, events
+
+
+def _lane(event: Event) -> int:
+    return SCHEDULER_LANE if event.rank is None else event.rank + 1
+
+
+def chrome_trace(events: Iterable[Event], label: str = "dampi",
+                 nprocs: Optional[int] = None) -> dict:
+    """Build the ``{"traceEvents": [...]}`` object for a merged campaign
+    stream (timestamps already on one shared axis)."""
+    events = list(events)
+    trace: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": f"DAMPI campaign: {label}"},
+    }]
+    lanes = {_lane(e) for e in events} | {SCHEDULER_LANE}
+    if nprocs:
+        lanes |= set(range(1, nprocs + 1))
+    for lane in sorted(lanes):
+        name = "scheduler" if lane == SCHEDULER_LANE else f"rank {lane - 1}"
+        trace.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": lane,
+            "args": {"name": name},
+        })
+        trace.append({
+            "name": "thread_sort_index", "ph": "M", "pid": 1, "tid": lane,
+            "args": {"sort_index": lane},
+        })
+    for event in events:
+        record = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "pid": 1,
+            "tid": _lane(event),
+            "ts": round(event.ts * 1e6, 3),
+        }
+        if event.ph == "X":
+            record["dur"] = round(event.dur * 1e6, 3)
+        elif event.ph == "i":
+            record["s"] = "t"
+        args = dict(event.args)
+        if event.run is not None:
+            args["run"] = event.run
+        if args:
+            record["args"] = args
+        trace.append(record)
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[Event], path, label: str = "dampi",
+                       nprocs: Optional[int] = None) -> None:
+    Path(path).write_text(
+        json.dumps(chrome_trace(events, label=label, nprocs=nprocs)),
+        encoding="utf-8",
+    )

@@ -1,0 +1,74 @@
+"""Live campaign heartbeat.
+
+One throttled stderr line per interval::
+
+    [dampi] runs 37 done / 12 queued | frontier 12 | cache 41% hit | 8.2s elapsed | eta ~3.1s
+
+The reporter only formats and writes when the interval has elapsed
+(checked against an injectable monotonic clock so tests don't sleep), so
+an aggressive caller can invoke :meth:`tick` every loop iteration.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 120:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class ProgressReporter:
+    """Writes campaign progress lines to ``stream`` at most every
+    ``interval`` seconds."""
+
+    def __init__(self, interval: float, stream=None, clock=time.monotonic):
+        self.interval = float(interval)
+        self._stream = stream
+        self._clock = clock
+        self._t0 = clock()
+        self._last = float("-inf")
+        self.lines_written = 0
+
+    def _write(self, line: str) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write(line + "\n")
+        flush = getattr(stream, "flush", None)
+        if flush is not None:
+            flush()
+
+    def tick(self, completed: int, queued: int, frontier_depth: int,
+             cache_hit_rate: Optional[float] = None,
+             eta_seconds: Optional[float] = None,
+             force: bool = False) -> bool:
+        """Emit a heartbeat if due; returns whether a line was written."""
+        now = self._clock()
+        if not force and now - self._last < self.interval:
+            return False
+        self._last = now
+        parts = [
+            f"runs {completed} done / {queued} queued",
+            f"frontier {frontier_depth}",
+        ]
+        if cache_hit_rate is not None:
+            parts.append(f"cache {cache_hit_rate * 100:.0f}% hit")
+        parts.append(f"{_fmt_seconds(now - self._t0)} elapsed")
+        if eta_seconds is not None:
+            parts.append(f"eta ~{_fmt_seconds(eta_seconds)}")
+        self._write("[dampi] " + " | ".join(parts))
+        self.lines_written += 1
+        return True
+
+    def final(self, completed: int, errors: int, wall_seconds: float) -> None:
+        """Closing line, always written (heartbeats may all have been
+        throttled on a fast campaign)."""
+        if self.lines_written == 0 and wall_seconds < self.interval:
+            return
+        self._write(
+            f"[dampi] done: {completed} runs, {errors} error(s), "
+            f"{_fmt_seconds(wall_seconds)}"
+        )

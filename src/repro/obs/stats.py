@@ -1,0 +1,113 @@
+"""``repro stats`` rendering: campaign summary tables from telemetry.
+
+Accepts either artifact ``repro verify`` writes:
+
+- a report JSON v3 (``--json-out``) — renders the headline numbers plus
+  the full metrics registry (counters, gauges, histograms);
+- a JSONL event log (``--events-out``) — renders per-category event
+  counts and total span time per event name.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from typing import List
+
+from repro.obs.trace import Event
+
+
+def _rule(width: int = 64) -> str:
+    return "-" * width
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _histogram_line(name: str, h: dict) -> List[str]:
+    buckets = []
+    for edge, count in zip(h["boundaries"], h["counts"]):
+        if count:
+            buckets.append(f"<={_fmt_value(edge)}:{count}")
+    overflow = h["counts"][len(h["boundaries"])]
+    if overflow:
+        buckets.append(f">{_fmt_value(h['boundaries'][-1])}:{overflow}")
+    mean = h["sum"] / h["count"] if h["count"] else 0.0
+    lines = [
+        f"  {name:<28} count={h['count']} mean={_fmt_value(mean)}",
+    ]
+    if buckets:
+        lines.append(f"  {'':<28} {' '.join(buckets)}")
+    return lines
+
+
+def render_report_summary(payload: dict) -> str:
+    """Campaign summary table from a report JSON (v3) payload."""
+    lines = [
+        f"DAMPI campaign: {payload.get('nprocs', '?')} procs, "
+        f"{payload.get('interleavings', 0)} interleavings"
+        + (" (truncated)" if payload.get("truncated") else ""),
+        f"  distinct outcomes : {payload.get('distinct_outcomes', 0)}",
+        f"  errors            : {len(payload.get('errors') or [])}",
+        f"  wall-clock        : {payload.get('wall_seconds', 0.0):.2f} s",
+    ]
+    telemetry = payload.get("telemetry") or {}
+    metrics = telemetry.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    if counters:
+        lines += ["", "counters", _rule()]
+        for name, value in counters.items():
+            lines.append(f"  {name:<36} {_fmt_value(value):>12}")
+    if gauges:
+        lines += ["", "gauges", _rule()]
+        for name, value in gauges.items():
+            lines.append(f"  {name:<36} {_fmt_value(value):>12}")
+    if histograms:
+        lines += ["", "histograms", _rule()]
+        for name, h in histograms.items():
+            lines.extend(_histogram_line(name, h))
+    ev = telemetry.get("events") or {}
+    if ev:
+        lines += [
+            "",
+            f"events: enabled={ev.get('enabled')} "
+            f"captured={ev.get('captured', 0)} dropped={ev.get('dropped', 0)}",
+        ]
+    return "\n".join(lines)
+
+
+def render_events_summary(header: dict, events: List[Event]) -> str:
+    """Event-stream summary from a JSONL log."""
+    lines = [
+        f"event log: {len(events)} events"
+        + (f" (format v{header.get('version')})" if header else ""),
+    ]
+    by_cat: _TallyCounter = _TallyCounter(e.cat for e in events)
+    if by_cat:
+        lines += ["", "by category", _rule()]
+        for cat, count in sorted(by_cat.items()):
+            lines.append(f"  {cat:<20} {count:>8}")
+    by_name: _TallyCounter = _TallyCounter(e.name for e in events)
+    span_time: dict = {}
+    for e in events:
+        if e.ph == "X":
+            span_time[e.name] = span_time.get(e.name, 0.0) + e.dur
+    lines += ["", "by event", _rule()]
+    for name, count in sorted(by_name.items()):
+        extra = (
+            f"  total {span_time[name]:.6f}s" if name in span_time else ""
+        )
+        lines.append(f"  {name:<20} {count:>8}{extra}")
+    runs = {e.run for e in events if e.run is not None}
+    ranks = {e.rank for e in events if e.rank is not None}
+    lines += [
+        "",
+        f"runs covered: {len(runs)}; ranks covered: {len(ranks)}",
+    ]
+    return "\n".join(lines)

@@ -21,11 +21,15 @@ ENTRY_POINTS = (
     "finalize",
     "isend",
     "issend",
+    "ssend",
     "irecv",
+    "sendrecv",
     "wait",
     "waitall",
     "waitany",
+    "waitsome",
     "test",
+    "testall",
     "probe",
     "iprobe",
     "barrier",

@@ -177,3 +177,74 @@ class TestEscalateCommand:
         # never froze a node), so the redundant unbounded stage is skipped
         assert "k=2" in out
         assert "unbounded" not in out
+
+
+class TestTelemetryFlags:
+    ARGS = [
+        "verify",
+        "repro.workloads.patterns:wildcard_lattice",
+        "--nprocs", "3",
+        "--kwargs", json.dumps({"receives": 2, "senders": 2}),
+    ]
+
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = main(self.ARGS + ["--trace-out", str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        records = doc["traceEvents"]
+        assert any(r["ph"] == "X" and r["name"] == "run" for r in records)
+        lanes = {r["tid"] for r in records}
+        assert {0, 1, 2, 3} <= lanes  # scheduler + 3 rank lanes
+        assert "chrome trace saved" in capsys.readouterr().out
+
+    def test_events_out_roundtrips_and_stats_renders(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        rc = main(self.ARGS + ["--events-out", str(events)])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["stats", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "event log:" in out and "by category" in out
+
+    def test_json_out_and_stats_renders_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        rc = main(self.ARGS + ["--json-out", str(report)])
+        assert rc == 0
+        payload = json.loads(report.read_text())
+        assert payload["version"] == 3
+        assert payload["telemetry"]["metrics"]["counters"]["campaign.runs"] == 4
+        capsys.readouterr()
+        assert main(["stats", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.runs" in out and "counters" in out
+
+    def test_stats_rejects_unrelated_file(self, tmp_path):
+        junk = tmp_path / "junk.txt"
+        junk.write_text("not telemetry\n")
+        with pytest.raises(SystemExit):
+            main(["stats", str(junk)])
+
+    def test_show_runs_footer_and_all_flag(self, capsys):
+        args = [
+            "verify",
+            "repro.workloads.patterns:wildcard_lattice",
+            "--nprocs", "5",
+            "--kwargs", json.dumps({"receives": 3, "senders": 4}),
+            "--max-interleavings", "60",
+            "--show-runs",
+        ]
+        rc = main(args)
+        capped = capsys.readouterr().out
+        rc_all = main(args + ["--all"])
+        full = capsys.readouterr().out
+        assert rc == rc_all == 0
+        assert "more runs (use --all)" in capped
+        assert "more runs" not in full
+        assert full.count("\n") > capped.count("\n")
+
+    def test_progress_heartbeat_written_to_stderr(self, capsys):
+        rc = main(self.ARGS + ["--progress", "0"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[dampi] runs" in err and "queued" in err

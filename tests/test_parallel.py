@@ -328,3 +328,55 @@ class TestWaveSimulation:
         t1 = simulate_wave_schedule(keys, [1.0] * 4, waves, jobs=1)
         t4 = simulate_wave_schedule(keys, [1.0] * 4, waves, jobs=4)
         assert t1 == t4 == pytest.approx(4.0)
+
+
+class TestTelemetryDeterminism:
+    """Satellite: telemetry must not break the jobs-independence contract.
+
+    Deterministic metric namespaces (engine.*, pb.*, campaign.*, run.*)
+    derive from consumed runs only, and consumed runs are bit-identical
+    across jobs settings — so the totals must be too.  Environment-
+    dependent numbers (exec.*, wall.*) are excluded by design.
+    """
+
+    def _verify(self, jobs):
+        cfg = DampiConfig(
+            trace_events=True, jobs=jobs, force_jobs=jobs > 1
+        )
+        return DampiVerifier(
+            wildcard_lattice, 4, cfg, kwargs={"receives": 2, "senders": 3}
+        ).verify()
+
+    def test_jobs2_metrics_totals_match_serial(self):
+        from repro.obs.metrics import deterministic_view
+
+        serial = self._verify(1)
+        pooled = self._verify(2)
+        assert _report_fingerprint(serial) == _report_fingerprint(pooled)
+        assert deterministic_view(
+            serial.telemetry["metrics"]
+        ) == deterministic_view(pooled.telemetry["metrics"])
+
+    def test_jobs2_run_events_match_serial(self):
+        from repro.obs.trace import event_signature
+
+        def consumed_run_events(report):
+            # sched-category events come from the pool itself and are
+            # jobs-dependent by nature; everything else must match
+            return event_signature(
+                e for e in report.events if e.cat != "sched"
+            )
+
+        serial = self._verify(1)
+        pooled = self._verify(2)
+        assert consumed_run_events(serial) == consumed_run_events(pooled)
+
+    def test_executor_shares_campaign_registry(self):
+        report = self._verify(2)
+        counters = report.telemetry["metrics"]["counters"]
+        gauges = report.telemetry["metrics"]["gauges"]
+        # pool accounting lands in exec.* counters, not duplicate gauges
+        assert counters["exec.submitted"] > 0
+        for key in ("submitted", "hits", "misses", "failures", "wasted"):
+            assert f"exec.{key}" not in gauges
+        assert gauges["exec.jobs"] == 2

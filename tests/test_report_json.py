@@ -17,14 +17,33 @@ class TestReportJson:
             wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
         ).verify()
         payload = json.loads(rep.to_json())
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["interleavings"] == 4
         assert payload["errors"] == []
         assert payload["distinct_outcomes"] == 4
         assert len(payload["runs"]) == 4
         assert payload["runs"][0]["flip"] is None
 
-    def test_v2_carries_wall_seconds_and_per_run_wildcard_counts(self):
+    def test_v3_telemetry_block_is_populated(self):
+        rep = DampiVerifier(
+            wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
+        ).verify()
+        payload = json.loads(rep.to_json())
+        tele = payload["telemetry"]
+        counters = tele["metrics"]["counters"]
+        assert counters["campaign.runs"] == payload["interleavings"] == 4
+        # guided replays rewrite forced receives to concrete sources, so
+        # the engine sees fewer wildcard matches than the epoch count
+        assert 0 < counters["engine.wildcard_matches"] <= 8
+        assert counters["engine.matches"] > 0
+        hist = tele["metrics"]["histograms"]["run.wildcard_count"]
+        assert sum(hist["counts"]) == 4 and hist["sum"] == 8
+        # tracing off by default: no events captured, and the block says so
+        assert tele["events"] == {
+            "enabled": False, "captured": 0, "dropped": 0,
+        }
+
+    def test_v3_carries_wall_seconds_and_per_run_wildcard_counts(self):
         rep = DampiVerifier(
             wildcard_lattice, 3, kwargs={"receives": 2, "senders": 2}
         ).verify()

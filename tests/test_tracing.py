@@ -105,3 +105,87 @@ class TestClassification:
         res = run_ok(prog, 2, modules=[tm, DampiClockModule(pb), pb])
         report = res.artifacts["trace"]
         assert report.total(OpClass.SEND_RECV) == 2
+
+
+class TestClassificationCompleteness:
+    """Satellite: every interposable entry point must be classified, so a
+    new entry point cannot silently fall out of Table I (a missing key
+    would KeyError inside TraceModule._bump at runtime)."""
+
+    def test_every_entry_point_is_classified(self):
+        from repro.pnmpi.module import ENTRY_POINTS
+
+        missing = [p for p in ENTRY_POINTS if p not in CLASSIFICATION]
+        assert not missing, f"unclassified entry points: {missing}"
+
+    def test_new_points_have_paper_classes(self):
+        assert CLASSIFICATION["ssend"] is OpClass.SEND_RECV
+        assert CLASSIFICATION["sendrecv"] is OpClass.SEND_RECV
+        assert CLASSIFICATION["waitsome"] is OpClass.WAIT
+        assert CLASSIFICATION["testall"] is OpClass.WAIT
+
+
+class TestBatchedOpCounts:
+    """ssend/sendrecv/waitsome/testall are compositions over instrumented
+    constituents; Table I counts each as ONE application call."""
+
+    def test_ssend_counts_once(self):
+        def prog(p):
+            if p.rank == 0:
+                p.world.ssend("x", dest=1)
+            else:
+                p.world.recv(source=0)
+
+        report = traced(prog, 2)
+        # rank 0: 1 ssend; rank 1: 1 irecv (+1 wait)
+        assert report.total(OpClass.SEND_RECV) == 2
+        assert report.total(OpClass.WAIT) == 1
+
+    def test_sendrecv_counts_once(self):
+        def prog(p):
+            peer = 1 - p.rank
+            p.world.sendrecv(p.rank, dest=peer, source=peer)
+
+        report = traced(prog, 2)
+        assert report.total(OpClass.SEND_RECV) == 2  # one per rank
+        assert report.total(OpClass.WAIT) == 0
+
+    def test_waitsome_counts_once(self):
+        def prog(p):
+            if p.rank == 0:
+                reqs = [p.world.irecv(source=1) for _ in range(3)]
+                done = 0
+                while done < 3:
+                    indices, _ = p.waitsome(reqs)
+                    done += len(indices)
+                    reqs = [r for i, r in enumerate(reqs) if i not in indices]
+            else:
+                for i in range(3):
+                    p.world.send(i, dest=0)
+
+        report = traced(prog, 2)
+        # rank 1: 3 send-side waits; rank 0: one Wait per waitsome round
+        per0 = report.per_rank[0]
+        assert per0[OpClass.WAIT] >= 1
+        assert per0[OpClass.SEND_RECV] == 3  # the irecvs, outside any batch
+
+    def test_testall_counts_once_per_call(self):
+        def prog(p):
+            if p.rank == 0:
+                reqs = [p.world.irecv(source=1) for _ in range(2)]
+                calls = 0
+                while True:
+                    calls += 1
+                    ok, _ = p.testall(reqs)
+                    if ok:
+                        return calls
+            else:
+                p.world.send(0, dest=0)
+                p.world.send(1, dest=0)
+
+        tm = TraceModule()
+        res = run_ok(prog, 2, modules=[tm])
+        report = res.artifacts["trace"]
+        calls = res.returns[0]
+        # every testall call counts once; the consuming waits do not
+        assert report.per_rank[0][OpClass.WAIT] == calls
