@@ -172,6 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="print a live progress heartbeat to stderr every SECONDS",
     )
+    v.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="durable campaign journal: every run is fsync'd to DIR, and "
+        "a later run (or 'repro resume DIR') picks up where a crash left "
+        "off without re-executing covered interleavings",
+    )
+    v.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault injection, e.g. 'kill@run:3' or "
+        "'hang@flip:1.2:30' (see repro.dampi.faults; robustness testing)",
+    )
 
     s = sub.add_parser(
         "stats",
@@ -199,6 +215,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going",
         action="store_true",
         help="continue escalating after an error is found",
+    )
+    e.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="per-stage durable journals under DIR (re-run the same "
+        "command after a crash to resume)",
+    )
+    e.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault injection (see repro.dampi.faults)",
+    )
+
+    rs = sub.add_parser(
+        "resume",
+        help="resume a crashed verification from its --journal-dir "
+        "(program, nprocs, and config are read from the journal)",
+    )
+    rs.add_argument("journal_dir", type=Path, help="a verify --journal-dir")
+    rs.add_argument(
+        "--program",
+        default=None,
+        help="override the program spec recorded in the journal",
+    )
+    rs.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="fault plan for the resumed attempt (the recorded plan is "
+        "NOT re-injected by default — the fault already happened)",
+    )
+    rs.add_argument(
+        "--json-out", type=Path, default=None, metavar="FILE",
+        help="write the report JSON",
+    )
+    rs.add_argument(
+        "--show-runs", action="store_true", help="print the per-run table"
     )
 
     r = sub.add_parser("replay", help="re-run one schedule from a decisions file")
@@ -236,11 +292,28 @@ def cmd_verify(args) -> int:
         artifacts_dir=args.artifacts_dir,
         trace_events=bool(args.trace_out or args.events_out),
         progress_interval_seconds=args.progress,
+        fault_plan=args.fault_plan,
     )
     cls = IspVerifier if args.baseline else DampiVerifier
     verifier = cls(program, args.nprocs, config, kwargs=kwargs)
-    report = verifier.verify()
+    journal = None
+    if args.journal_dir is not None:
+        from repro.dampi.journal import CampaignJournal
+
+        journal = CampaignJournal(
+            args.journal_dir,
+            segment_bytes=config.journal_segment_bytes,
+            fsync=config.journal_fsync,
+            program_label=args.program,
+        )
+    report = verifier.verify(journal=journal)
     print(report.summary())
+    if report.journal_stats is not None:
+        js = report.journal_stats
+        print(
+            f"  journal: {js['replayed']} run(s) replayed from "
+            f"{js['dir']}, {js['executed']} executed"
+        )
     if args.show_runs:
         print(report.run_table(limit=None if args.all else 50))
     if args.trace_out is not None:
@@ -320,14 +393,79 @@ def cmd_escalate(args) -> int:
         program,
         args.nprocs,
         base_config=DampiConfig(
-            clock_impl=args.clock, policy=args.policy, jobs=_jobs_arg(args)
+            clock_impl=args.clock,
+            policy=args.policy,
+            jobs=_jobs_arg(args),
+            fault_plan=args.fault_plan,
         ),
         run_budget=args.run_budget,
         stop_on_error=not args.keep_going,
         kwargs=json.loads(args.kwargs),
+        journal_dir=args.journal_dir,
     )
     print(result.summary())
     return 1 if result.errors else 0
+
+
+def cmd_resume(args) -> int:
+    """Self-contained crash recovery: everything needed to continue —
+    program spec, nprocs, config, kwargs — is read from the journal's
+    meta record, so the operator only names the directory."""
+    from repro.dampi.journal import CampaignJournal
+    from repro.mpi.costmodel import CostModel
+
+    journal = CampaignJournal(args.journal_dir)
+    meta = journal.meta
+    if meta is None:
+        raise SystemExit(
+            f"{args.journal_dir}: no journal meta record found "
+            f"(empty directory, or not a campaign journal)"
+        )
+    spec = args.program or meta.get("program")
+    if not spec:
+        raise SystemExit(
+            "this journal does not record a program spec (it was written "
+            "by the API, not the CLI); pass --program module:callable"
+        )
+    payload = meta.get("config")
+    if not isinstance(payload, dict):
+        raise SystemExit(
+            "this journal's config is not serializable (policy instance?); "
+            "resume in-process via DampiVerifier.verify(journal=...)"
+        )
+    d = dict(payload)
+    cm = d.pop("cost_model", None)
+    # the recorded plan already fired — a resume must not re-inject it
+    d["fault_plan"] = args.fault_plan
+    try:
+        config = DampiConfig(
+            **d, **({"cost_model": CostModel(**cm)} if cm else {})
+        )
+    except TypeError as e:
+        raise SystemExit(
+            f"journal config does not match this version's DampiConfig: {e}"
+        ) from e
+    kwargs = meta.get("kwargs")
+    if not isinstance(kwargs, dict):
+        raise SystemExit(
+            f"this journal's program kwargs are not serializable "
+            f"({kwargs!r}); resume in-process instead"
+        )
+    program = resolve_program(spec)
+    verifier = DampiVerifier(program, meta["nprocs"], config, kwargs=kwargs)
+    report = verifier.verify(journal=journal)
+    print(report.summary())
+    js = report.journal_stats or {}
+    print(
+        f"  journal: {js.get('replayed', 0)} run(s) replayed, "
+        f"{js.get('executed', 0)} executed"
+    )
+    if args.show_runs:
+        print(report.run_table(limit=None))
+    if args.json_out is not None:
+        args.json_out.write_text(report.to_json() + "\n")
+        print(f"  report JSON saved: {args.json_out}")
+    return 1 if report.errors else 0
 
 
 def cmd_replay(args) -> int:
@@ -358,6 +496,8 @@ def main(argv=None) -> int:
             return cmd_stats(args)
         if args.command == "escalate":
             return cmd_escalate(args)
+        if args.command == "resume":
+            return cmd_resume(args)
         if args.command == "replay":
             return cmd_replay(args)
     except BrokenPipeError:

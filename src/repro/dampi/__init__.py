@@ -13,6 +13,10 @@ The pieces, mirroring paper §II and Fig. 1:
 * :mod:`repro.dampi.explorer` — the schedule generator: depth-first walk
   over epoch decisions, bounded mixing, loop iteration abstraction;
 * :mod:`repro.dampi.verifier` — the front end driving self run + replays;
+* :mod:`repro.dampi.journal` — the durable campaign journal: crash-safe
+  checkpoint/resume for long verifications;
+* :mod:`repro.dampi.faults` — deterministic fault injection for
+  robustness testing;
 * :mod:`repro.dampi.leaks` / :mod:`repro.dampi.monitor` — resource-leak
   checking and the §V omission-pattern monitor.
 """
@@ -22,6 +26,8 @@ from repro.dampi.decisions import EpochDecisions
 from repro.dampi.epoch import EpochRecord, PotentialMatch, RunTrace
 from repro.dampi.verifier import DampiVerifier, VerificationReport, FoundError
 from repro.dampi.campaign import escalating_verify, run_campaign
+from repro.dampi.faults import FaultInjected, FaultPlan
+from repro.dampi.journal import CampaignJournal, JournalError
 
 __all__ = [
     "DampiConfig",
@@ -34,4 +40,8 @@ __all__ = [
     "FoundError",
     "escalating_verify",
     "run_campaign",
+    "FaultInjected",
+    "FaultPlan",
+    "CampaignJournal",
+    "JournalError",
 ]

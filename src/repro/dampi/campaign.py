@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.dampi.config import DampiConfig
+from repro.dampi.faults import FaultPlan
 from repro.dampi.verifier import DampiVerifier, FoundError, VerificationReport
 
 
@@ -98,6 +100,7 @@ def escalating_verify(
     stop_on_error: bool = True,
     kwargs: Optional[dict] = None,
     jobs: Optional[int] = None,
+    journal_dir=None,
 ) -> EscalationResult:
     """Widen bounded mixing stage by stage (paper §III-B2's workflow).
 
@@ -121,10 +124,23 @@ def escalating_verify(
     the budget is gone.  ``jobs`` (when not None) overrides the replay
     parallelism of every stage's config (see :class:`DampiConfig.jobs`);
     stages themselves are inherently sequential — each widens the last.
+
+    ``journal_dir`` makes the escalation crash-safe: each stage verifies
+    under its own journal (``<dir>/stage-k0``, ``stage-k1``, ...,
+    ``stage-unbounded``).  Because stage sequencing and budget arithmetic
+    are deterministic functions of the stage reports, re-running
+    ``escalating_verify`` with the same arguments after a crash replays
+    the completed stages' journals (executing nothing), resumes the
+    interrupted stage mid-walk, and lands on the same
+    :class:`EscalationResult` as an uninterrupted run.  One shared
+    :class:`~repro.dampi.faults.FaultPlan` (from ``base_config.fault_plan``)
+    spans every stage, so its ``stage:<label>`` sites fire at stage
+    boundaries and one-shot faults stay one-shot across the escalation.
     """
     base = base_config or DampiConfig()
     if jobs is not None:
         base = replace(base, jobs=jobs)
+    faults = FaultPlan.parse(base.fault_plan)
     result = EscalationResult()
     remaining = run_budget
     covered_k: Optional[int] = None  # widest bound fully covered so far
@@ -135,8 +151,16 @@ def escalating_verify(
         if remaining <= 0:
             result.stopped_reason = "run budget exhausted"
             return result
+        label = "unbounded" if k is None else f"k{k}"
+        if faults:
+            faults.fire("stage", (label,))
         cfg = replace(base, bound_k=k, max_interleavings=remaining)
-        report = DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
+        journal = (
+            Path(journal_dir) / f"stage-{label}" if journal_dir is not None else None
+        )
+        report = DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify(
+            journal=journal, faults=faults
+        )
         result.steps.append(EscalationStep(bound_k=k, report=report))
         remaining -= report.interleavings
         if stop_on_error and report.errors:
@@ -156,7 +180,15 @@ def escalating_verify(
 class CampaignCell:
     nprocs: int
     config_name: str
-    report: VerificationReport
+    #: None when the cell's verification never produced a report (its
+    #: worker died, its report was unpicklable, ...) — see ``failure``
+    report: Optional[VerificationReport] = None
+    #: why the cell failed to verify, when it did
+    failure: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return f"np={self.nprocs}/{self.config_name}"
 
 
 @dataclass
@@ -168,16 +200,25 @@ class CampaignResult:
         """(cell label, error) pairs, deduplicated by kind+detail."""
         seen, out = set(), []
         for cell in self.cells:
+            if cell.report is None:
+                continue
             for e in cell.report.errors:
                 key = (e.kind, e.detail)
                 if key not in seen:
                     seen.add(key)
-                    out.append((f"np={cell.nprocs}/{cell.config_name}", e))
+                    out.append((cell.label, e))
         return out
 
     @property
+    def failed_cells(self) -> list[CampaignCell]:
+        """Cells whose verification itself failed (no report at all)."""
+        return [c for c in self.cells if c.report is None]
+
+    @property
     def ok(self) -> bool:
-        return all(cell.report.ok for cell in self.cells)
+        return all(
+            cell.report is not None and cell.report.ok for cell in self.cells
+        )
 
     def summary(self) -> str:
         lines = [
@@ -186,6 +227,12 @@ class CampaignResult:
         ]
         for cell in self.cells:
             r = cell.report
+            if r is None:
+                lines.append(
+                    f"{cell.nprocs:>6} | {cell.config_name:<12} | "
+                    f"{'FAILED':>13}  | {'-':>5} | {cell.failure}"
+                )
+                continue
             lines.append(
                 f"{cell.nprocs:>6} | {cell.config_name:<12} | "
                 f"{r.interleavings:>13}{'+' if r.truncated else ' '} | "
@@ -196,11 +243,30 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _cell_journal(journal_dir, nprocs: int, name: str):
+    return (
+        Path(journal_dir) / f"np{nprocs}-{name}" if journal_dir is not None else None
+    )
+
+
 def _run_campaign_cell(
-    program: Callable, nprocs: int, cfg: DampiConfig, kwargs: Optional[dict]
+    program: Callable,
+    nprocs: int,
+    cfg: DampiConfig,
+    kwargs: Optional[dict],
+    name: Optional[str] = None,
+    journal_dir=None,
 ) -> VerificationReport:
-    """Worker entry point for one (nprocs, config) cell."""
-    return DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
+    """Worker entry point for one (nprocs, config) cell.  The cell's own
+    fault plan fires its ``cell:`` site here — inside the pool worker when
+    the sweep is pooled — and the same plan instance is handed to
+    ``verify`` so one-shot semantics hold across the cell's sites."""
+    plan = FaultPlan.parse(cfg.fault_plan)
+    if plan and name is not None:
+        plan.fire("cell", (nprocs, name))
+    return DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify(
+        journal=_cell_journal(journal_dir, nprocs, name), faults=plan
+    )
 
 
 def run_campaign(
@@ -209,6 +275,7 @@ def run_campaign(
     configs: Optional[dict[str, DampiConfig]] = None,
     kwargs: Optional[dict] = None,
     jobs: Optional[int] = 1,
+    journal_dir=None,
 ) -> CampaignResult:
     """Verify across a (process count × configuration) grid.
 
@@ -221,6 +288,20 @@ def run_campaign(
     (``jobs=1``) to avoid nested pools.  Cell order — and therefore the
     result — is identical to the serial sweep.  Unpicklable programs fall
     back to the serial sweep automatically.
+
+    A cell whose verification *itself* fails — its worker is killed, its
+    report cannot cross the process boundary — is recorded as a failed
+    :class:`CampaignCell` (``report=None``, ``failure=<reason>``) and the
+    sweep keeps going; a dead worker breaks the shared pool, so the pool
+    is rebuilt and the not-yet-finished cells are resubmitted.  When the
+    pool breaks, the cell being waited on is the one blamed — with
+    concurrent cells in flight the true culprit may be a later cell,
+    which will then fail (and be blamed) in the next round.
+
+    ``journal_dir`` gives every cell its own journal under
+    ``<dir>/np<nprocs>-<name>``; re-running the campaign with the same
+    arguments replays completed cells and resumes interrupted ones (see
+    :mod:`repro.dampi.journal`).
     """
     if configs is None:
         configs = {
@@ -235,25 +316,86 @@ def run_campaign(
     result = CampaignResult()
     njobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if njobs > 1 and len(grid) > 1 and _cells_picklable(program, configs, kwargs):
-        import multiprocessing as mp
-        from concurrent.futures import ProcessPoolExecutor
-
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else methods[0])
-        with ProcessPoolExecutor(max_workers=njobs, mp_context=ctx) as pool:
-            futures = [
-                pool.submit(
-                    _run_campaign_cell, program, nprocs, replace(cfg, jobs=1), kwargs
-                )
-                for nprocs, _, cfg in grid
-            ]
-            for (nprocs, name, _), fut in zip(grid, futures):
-                result.cells.append(CampaignCell(nprocs, name, fut.result()))
+        cells = _run_pooled_cells(program, grid, kwargs, njobs, journal_dir)
+        result.cells.extend(cells)
         return result
     for nprocs, name, cfg in grid:
-        report = DampiVerifier(program, nprocs, cfg, kwargs=kwargs).verify()
-        result.cells.append(CampaignCell(nprocs, name, report))
+        try:
+            report = _run_campaign_cell(
+                program, nprocs, cfg, kwargs, name=name, journal_dir=journal_dir
+            )
+            result.cells.append(CampaignCell(nprocs, name, report))
+        except Exception as e:
+            result.cells.append(
+                CampaignCell(
+                    nprocs, name, failure=f"{type(e).__name__}: {e}"
+                )
+            )
     return result
+
+
+def _run_pooled_cells(
+    program, grid, kwargs, njobs: int, journal_dir
+) -> list[CampaignCell]:
+    """The pooled sweep, tolerant of dying cells.  Cells are consumed in
+    grid order; a cell that raises is recorded failed.  A dead worker
+    breaks the whole ``ProcessPoolExecutor`` (every pending future raises
+    ``BrokenProcessPool``), so on breakage the observed cell is blamed,
+    the results of cells not yet observed are discarded, and a fresh pool
+    re-runs them — each round fails at least one cell, so at most
+    ``len(grid)`` rounds."""
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+    done: dict[int, CampaignCell] = {}
+    remaining = list(enumerate(grid))
+    while remaining:
+        pool = ProcessPoolExecutor(max_workers=njobs, mp_context=ctx)
+        futures = [
+            (
+                idx,
+                nprocs,
+                name,
+                pool.submit(
+                    _run_campaign_cell,
+                    program,
+                    nprocs,
+                    replace(cfg, jobs=1),
+                    kwargs,
+                    name=name,
+                    journal_dir=journal_dir,
+                ),
+            )
+            for idx, (nprocs, name, cfg) in remaining
+        ]
+        broken = False
+        next_remaining = []
+        for i, (idx, nprocs, name, fut) in enumerate(futures):
+            if broken:
+                # unobserved after breakage: rerun on the fresh pool (its
+                # journal, if any, makes the rerun a cheap replay+resume)
+                next_remaining.append(remaining[i])
+                continue
+            try:
+                done[idx] = CampaignCell(nprocs, name, fut.result())
+            except BrokenProcessPool:
+                done[idx] = CampaignCell(
+                    nprocs,
+                    name,
+                    failure="cell worker died (pool broken while this "
+                    "cell was being awaited)",
+                )
+                broken = True
+            except Exception as e:
+                done[idx] = CampaignCell(
+                    nprocs, name, failure=f"{type(e).__name__}: {e}"
+                )
+        pool.shutdown(wait=False, cancel_futures=True)
+        remaining = next_remaining
+    return [done[idx] for idx in sorted(done)]
 
 
 def _cells_picklable(program, configs, kwargs) -> bool:

@@ -100,6 +100,24 @@ class DampiConfig:
         decisions are written under this directory as line-oriented JSON
         — the file tree of the paper's Fig. 1 (see
         :mod:`repro.dampi.artifacts`).
+    fault_plan:
+        Deterministic fault injection spec (see :mod:`repro.dampi.faults`):
+        comma-separated ``action@site[:selector][:param]`` terms that
+        kill/hang/delay replay workers, the verify loop, escalation
+        stages, or campaign cells at chosen points.  Travels inside the
+        config, so pooled replay workers and campaign cells inherit it
+        automatically.  ``None`` (the default) injects nothing.
+    journal_checkpoint_interval:
+        When verifying with a journal, write a full generator-state
+        checkpoint every this many journaled runs (resume transition-
+        replays only the entries after the latest checkpoint).
+    journal_segment_bytes:
+        Journal segment rotation threshold (see
+        :mod:`repro.dampi.journal`).
+    journal_fsync:
+        ``fsync`` every journal append (the durability the journal
+        exists for).  ``False`` trades crash-safety for speed — only
+        sensible in tests and on battery-backed storage.
     """
 
     clock_impl: str = "lamport"
@@ -129,6 +147,10 @@ class DampiConfig:
     trace_events: bool = False
     trace_buffer: int = 65536
     progress_interval_seconds: Optional[float] = None
+    fault_plan: Optional[str] = None
+    journal_checkpoint_interval: int = 16
+    journal_segment_bytes: int = 4 * 1024 * 1024
+    journal_fsync: bool = True
 
     _CLOCK_IMPLS = ("lamport", "vector", "lamport_dual", "vector_dual")
 
@@ -154,3 +176,13 @@ class DampiConfig:
             and self.progress_interval_seconds < 0
         ):
             raise ValueError("progress_interval_seconds must be None or >= 0")
+        if self.fault_plan is not None:
+            # parse eagerly so a typo'd plan fails at construction, not at
+            # the (possibly hours-later) injection site
+            from repro.dampi.faults import FaultPlan
+
+            FaultPlan.parse(self.fault_plan)
+        if self.journal_checkpoint_interval < 1:
+            raise ValueError("journal_checkpoint_interval must be >= 1")
+        if self.journal_segment_bytes < 4096:
+            raise ValueError("journal_segment_bytes must be >= 4096")

@@ -87,6 +87,9 @@ class ScheduleGenerator:
         self.auto_loop_threshold = auto_loop_threshold
         self.path: list[DecisionNode] = []
         self._flip_index: Optional[int] = None
+        #: the flipped node's ``chosen`` before the pending flip — what
+        #: :meth:`abandon` must restore when the replay never happens
+        self._flip_prev: Optional[int] = None
         self._seeded = False
         self.divergences = 0
         self.frozen_created = 0
@@ -168,6 +171,7 @@ class ScheduleGenerator:
                 continue
             alt = min(node.untried)  # deterministic exploration order
             node.tried.add(alt)
+            self._flip_prev = node.chosen
             node.chosen = alt
             self._flip_index = i
             # Unmatched (never-completed) epochs have no source to force;
@@ -218,8 +222,14 @@ class ScheduleGenerator:
     def abandon(self) -> None:
         """Drop the pending flip without a trace (the replay was lost to a
         worker crash/timeout): the alternative stays tried so it is never
-        re-emitted, and the path is left untouched."""
+        re-emitted, and the flipped node's ``chosen`` reverts to the source
+        that actually executed — the lost alternative never ran, so leaving
+        it as ``chosen`` would smuggle a never-executed source into the
+        forced prefix of every later, shallower flip."""
+        if self._flip_index is not None and self._flip_prev is not None:
+            self.path[self._flip_index].chosen = self._flip_prev
         self._flip_index = None
+        self._flip_prev = None
 
     def integrate(self, trace: RunTrace, seed_fresh: bool = True) -> None:
         """Fold a replay's trace into the search state.
@@ -234,6 +244,7 @@ class ScheduleGenerator:
             raise RuntimeError("integrate() without a preceding next_decisions()")
         i = self._flip_index
         self._flip_index = None
+        self._flip_prev = None
         if trace.diverged:
             self.divergences += 1
         prefix = self.path[: i + 1]

@@ -1,0 +1,223 @@
+"""Deterministic fault injection for campaign robustness testing.
+
+Verification campaigns are meant to survive real-cluster failure modes:
+workers that die mid-replay, cells that OOM, jobs that hit wall-clock
+limits and are killed at arbitrary points.  This module turns those
+failure modes into a reproducible harness: a :class:`FaultPlan` is a
+compact string carried on :attr:`DampiConfig.fault_plan` (and therefore
+pickled into replay workers and campaign cells automatically) that fires
+a chosen *action* at a chosen *site*.
+
+Plan syntax — comma-separated ``action@site[:selector][:param]`` terms::
+
+    kill@self                   die (os._exit) during the self run
+    kill@run:3                  die just before consuming replay 3
+    kill@flip:1.2               die inside the replay flipping epoch (1,2)
+    kill@flip:1.2.0             ... only when source 0 is forced there
+    hang@flip:1.2:30            sleep 30s inside that replay (timeouts)
+    delay@run:2:0.05            sleep 50ms before consuming replay 2
+    raise@run:4                 raise FaultInjected before replay 4
+    kill@stage:k1               die at the k=1 escalation stage boundary
+    kill@cell:3.quick-k0        die at the np=3/quick-k0 campaign cell
+
+Actions
+-------
+``kill``
+    ``os._exit(FAULT_EXIT_CODE)`` — a hard, unflushed death, exactly what
+    a SIGKILLed worker or a dying node looks like.  Injected in a pool
+    worker it kills that worker; injected in the main loop it kills the
+    campaign (the crash the journal exists to survive).
+``hang``
+    Sleep ``param`` seconds (default :data:`DEFAULT_HANG_SECONDS`) — a
+    wedged worker, the food for ``job_timeout_seconds``.
+``delay``
+    Sleep ``param`` seconds and continue — jitter for race hunting.
+``raise``
+    Raise :class:`FaultInjected` — a soft, catchable failure.
+
+Sites
+-----
+``self``
+    Immediately before the self run (selector: none).
+``run:<n>``
+    In the verify loop, immediately before executing/consuming replay
+    ``n`` (the 1-based run index) — and before anything about run ``n``
+    reaches the journal, so a ``kill`` here loses exactly that run.
+``flip:<rank>.<lc>[.<src>]``
+    Inside replay execution (:meth:`DampiVerifier.run_once`), wherever it
+    happens — a pool worker in pool mode (a mid-wave fault), the main
+    process inline.  Matches the schedule's flip epoch, optionally only
+    when ``src`` is the source forced at it.
+``stage:<label>``
+    In :func:`~repro.dampi.campaign.escalating_verify`, before the stage
+    with that label (``k0``, ``k1``, ..., ``unbounded``) starts.
+``cell:<nprocs>.<config_name>``
+    In :func:`~repro.dampi.campaign.run_campaign`, before that cell runs
+    (inside the cell worker when the sweep is pooled).
+
+Each fault fires **once per process**: a plan object tracks which of its
+faults already fired, and worker processes carry their own plan copy —
+so a ``flip`` kill takes down one worker, not every retry forever.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: exit status used by ``kill`` faults — distinctive, so tests and CI can
+#: assert the death was the injected one and not a real defect
+FAULT_EXIT_CODE = 43
+
+#: how long a ``hang`` sleeps when the plan gives no explicit duration
+DEFAULT_HANG_SECONDS = 3600.0
+
+_ACTIONS = ("kill", "hang", "delay", "raise")
+_SITES = ("self", "run", "flip", "stage", "cell")
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan spec string that does not parse."""
+
+
+class FaultInjected(RuntimeError):
+    """Raised by ``raise``-action faults."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One parsed ``action@site[:selector][:param]`` term."""
+
+    action: str
+    site: str
+    #: site-specific match key: ``()`` for self, ``(index,)`` for run,
+    #: ``(rank, lc)`` or ``(rank, lc, src)`` for flip, ``(label,)`` for
+    #: stage, ``(nprocs, name)`` for cell
+    selector: tuple = ()
+    #: seconds for hang/delay; ignored elsewhere
+    param: Optional[float] = None
+
+    def matches(self, selector: Sequence) -> bool:
+        """Prefix match: a fault naming fewer selector fields than the
+        firing site provides matches any value for the rest."""
+        sel = tuple(selector)
+        return self.selector == sel[: len(self.selector)]
+
+    def spec(self) -> str:
+        out = f"{self.action}@{self.site}"
+        if self.selector:
+            out += ":" + ".".join(str(s) for s in self.selector)
+        if self.param is not None:
+            out += f":{self.param:g}"
+        return out
+
+
+def _parse_term(term: str) -> Fault:
+    action, sep, rest = term.partition("@")
+    if not sep or action not in _ACTIONS:
+        raise FaultPlanError(
+            f"fault term {term!r}: expected action@site with action in {_ACTIONS}"
+        )
+    parts = rest.split(":")
+    site = parts[0]
+    if site not in _SITES:
+        raise FaultPlanError(f"fault term {term!r}: unknown site {site!r}")
+    selector: tuple = ()
+    param: Optional[float] = None
+    fields = parts[1:]
+    try:
+        if site == "self":
+            pass  # no selector; an optional trailing field is the param
+        elif site == "run":
+            if not fields:
+                raise FaultPlanError(f"fault term {term!r}: run needs an index")
+            selector = (int(fields.pop(0)),)
+        elif site == "flip":
+            if not fields:
+                raise FaultPlanError(f"fault term {term!r}: flip needs rank.lc")
+            bits = fields.pop(0).split(".")
+            if len(bits) not in (2, 3):
+                raise FaultPlanError(
+                    f"fault term {term!r}: flip selector is rank.lc[.src]"
+                )
+            selector = tuple(int(b) for b in bits)
+        elif site == "stage":
+            if not fields:
+                raise FaultPlanError(f"fault term {term!r}: stage needs a label")
+            selector = (fields.pop(0),)
+        elif site == "cell":
+            if not fields:
+                raise FaultPlanError(
+                    f"fault term {term!r}: cell needs nprocs.config_name"
+                )
+            nprocs, sep2, name = fields.pop(0).partition(".")
+            if not sep2:
+                raise FaultPlanError(
+                    f"fault term {term!r}: cell selector is nprocs.config_name"
+                )
+            selector = (int(nprocs), name)
+        if fields:
+            param = float(fields.pop(0))
+    except FaultPlanError:
+        raise
+    except ValueError as e:
+        raise FaultPlanError(f"fault term {term!r}: {e}") from None
+    if fields:
+        raise FaultPlanError(f"fault term {term!r}: trailing fields {fields}")
+    return Fault(action=action, site=site, selector=selector, param=param)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of faults plus per-process fired bookkeeping."""
+
+    faults: list = field(default_factory=list)
+    _fired: set = field(default_factory=set, repr=False)
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "FaultPlan":
+        """Parse a comma-separated plan string; ``None``/empty → no-op plan."""
+        if not spec:
+            return cls()
+        faults = [_parse_term(term.strip()) for term in spec.split(",") if term.strip()]
+        return cls(faults=faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def spec(self) -> str:
+        return ",".join(f.spec() for f in self.faults)
+
+    def fire(self, site: str, selector: Sequence = (), tracer=None, metrics=None):
+        """Fire every not-yet-fired fault matching ``(site, selector)``.
+
+        ``kill`` never returns; ``raise`` raises :class:`FaultInjected`
+        after marking itself fired (so a caught injection is not
+        re-injected); ``hang``/``delay`` sleep and return.
+        """
+        for i, fault in enumerate(self.faults):
+            if i in self._fired or fault.site != site or not fault.matches(selector):
+                continue
+            self._fired.add(i)
+            if metrics is not None:
+                metrics.counter("fault.injected").inc()
+                metrics.counter(f"fault.{fault.action}").inc()
+            if tracer is not None:
+                tracer.instant(
+                    "fault_injected",
+                    "fault",
+                    spec=fault.spec(),
+                    selector=tuple(selector),
+                )
+            if fault.action == "kill":
+                os._exit(FAULT_EXIT_CODE)
+            elif fault.action == "hang":
+                time.sleep(
+                    fault.param if fault.param is not None else DEFAULT_HANG_SECONDS
+                )
+            elif fault.action == "delay":
+                time.sleep(fault.param or 0.0)
+            elif fault.action == "raise":
+                raise FaultInjected(f"injected fault {fault.spec()}")

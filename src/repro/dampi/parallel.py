@@ -27,7 +27,12 @@ Degradation paths, in order:
   as a ``crash`` defect with its witness schedule, the pool is abandoned,
   and the session continues in-process;
 * a worker that exceeds ``job_timeout_seconds`` → same ``crash`` report
-  for that replay, pool kept for the rest.
+  for that replay, and the pool is *recycled*: cancelling a running
+  ``ProcessPoolExecutor`` future is a no-op, so the hung worker would
+  otherwise keep its slot (later waves stall behind it) and block
+  ``close()`` indefinitely.  Recycling terminates the old pool's worker
+  processes, counts the abandonment in ``pool_stats["abandoned_workers"]``,
+  and lazily builds a fresh pool for the next wave.
 """
 
 from __future__ import annotations
@@ -79,6 +84,23 @@ class ReplaySpec:
             return True
         except Exception:
             return False
+
+
+def _discard_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a pool that may contain hung workers: terminate its worker
+    processes first (``shutdown`` alone would leave a wedged, non-daemon
+    worker alive to block interpreter exit), then shut it down without
+    waiting.  ``_processes`` is a CPython implementation detail, hence the
+    blanket guards — on an exotic runtime we degrade to plain shutdown."""
+    try:
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+    except Exception:
+        pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 #: per-worker-process verifier reuse: ``(spec, verifier)`` of the last task.
@@ -183,6 +205,7 @@ class ReplayExecutor:
         self._c_misses = self.metrics.counter("exec.cache_misses")
         self._c_failures = self.metrics.counter("exec.failures")
         self._c_wasted = self.metrics.counter("exec.wasted")
+        self._c_abandoned = self.metrics.counter("exec.abandoned_workers")
         self.demoted = False
         self.demote_reason: Optional[str] = None
         self.consumed_keys: list[ScheduleKey] = []
@@ -225,6 +248,10 @@ class ReplayExecutor:
     def wasted(self) -> int:
         return self._c_wasted.value
 
+    @property
+    def abandoned(self) -> int:
+        return self._c_abandoned.value
+
     # -- sizing ---------------------------------------------------------------
 
     @property
@@ -259,7 +286,31 @@ class ReplayExecutor:
         self._c_wasted.inc(len(self._futures))
         self._futures.clear()
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            _discard_pool(self._pool)
+            self._pool = None
+
+    def _recycle_pool(self, reason: str) -> None:
+        """Abandon the current pool — hung worker and all — but stay in
+        pool mode: a fresh pool is built lazily on the next submission.
+        Completed speculative siblings are harvested into the cache first;
+        in-flight ones are charged as wasted (their workers die here)."""
+        self._c_abandoned.inc()
+        _log.info("replay pool recycled: %s", reason)
+        tr = self._tracer
+        if tr is not None:
+            tr.instant("pool_recycle", "sched", reason=reason)
+        for key, fut in list(self._futures.items()):
+            if fut.done():
+                del self._futures[key]
+                try:
+                    r, t, d = fut.result()
+                    self._done[key] = ReplayOutcome(r, t, d, miss=False)
+                except Exception:
+                    pass
+        self._c_wasted.inc(len(self._futures))
+        self._futures.clear()
+        if self._pool is not None:
+            _discard_pool(self._pool)
             self._pool = None
 
     def close(self) -> None:
@@ -267,7 +318,7 @@ class ReplayExecutor:
         self._futures.clear()
         self._done.clear()
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            _discard_pool(self._pool)
             self._pool = None
 
     # -- execution ------------------------------------------------------------
@@ -333,13 +384,18 @@ class ReplayExecutor:
             result, trace, duration = fut.result(timeout=self.timeout)
             out = ReplayOutcome(result, trace, duration, miss=miss)
         except FutureTimeoutError:
-            fut.cancel()
+            # cancel() is a no-op on a running future: the worker is wedged
+            # and would keep its slot (and block close()) forever — recycle
+            # the whole pool instead and abandon the hung worker
             out = ReplayOutcome(
                 miss=miss,
                 failure=(
                     f"replay worker exceeded {self.timeout}s "
                     f"replaying flip {decisions.flip}"
                 ),
+            )
+            self._recycle_pool(
+                f"worker exceeded {self.timeout}s replaying flip {decisions.flip}"
             )
         except BrokenProcessPool:
             out = ReplayOutcome(
@@ -381,6 +437,7 @@ class ReplayExecutor:
             "misses": self.misses,
             "failures": self.failures,
             "wasted": self.wasted,
+            "abandoned_workers": self.abandoned,
             "demoted": self.demoted,
             "demote_reason": self.demote_reason,
         }

@@ -19,6 +19,7 @@ from repro.dampi.config import DampiConfig
 from repro.dampi.decisions import EpochDecisions
 from repro.dampi.epoch import EpochKey, RunTrace
 from repro.dampi.explorer import ScheduleGenerator
+from repro.dampi.faults import FaultPlan
 from repro.dampi.leaks import LeakCheckModule, LeakReport
 from repro.dampi.monitor import MonitorReport, OmissionMonitorModule
 from repro.dampi.parallel import ReplayExecutor, ReplaySpec
@@ -145,6 +146,11 @@ class VerificationReport:
     bound_frozen: int = 0
     #: replay-executor counters (mode, waves, cache hits/misses, ...)
     parallel_stats: Optional[dict] = None
+    #: journal accounting when verify() ran with one: directory, runs
+    #: replayed from the journal vs executed live.  Like parallel_stats,
+    #: excluded from to_json(): it describes *this attempt*, not the
+    #: verification (a resumed report is otherwise bit-identical).
+    journal_stats: Optional[dict] = None
     #: telemetry block (metrics snapshot + event-stream accounting),
     #: filled in by CampaignTelemetry.finalize; report JSON v3
     telemetry: Optional[dict] = None
@@ -297,6 +303,11 @@ class DampiVerifier:
         self.kwargs = kwargs or {}
         self._session: Optional[_ReplaySession] = None
         self._runs_started = 0
+        #: deterministic fault injection (no-op unless config.fault_plan);
+        #: fired at self/run sites by verify() and at flip sites by
+        #: run_once() — so flip faults strike wherever the replay actually
+        #: executes, a pool worker included
+        self._faults = FaultPlan.parse(self.config.fault_plan)
         #: per-run event tracer handed to every Runtime this verifier
         #: builds; None (the fast path) unless config.trace_events
         self._run_tracer: Optional[Tracer] = (
@@ -340,6 +351,12 @@ class DampiVerifier:
         config allows it (see ``DampiConfig.persistent_session``).
         """
         cfg = self.config
+        if self._faults and decisions is not None and decisions.flip is not None:
+            flip = decisions.flip
+            src = decisions.forced.get(flip)
+            self._faults.fire(
+                "flip", flip if src is None else (flip[0], flip[1], src)
+            )
         self._runs_started += 1
         if self._session is not None:
             return self._session.run(decisions)
@@ -417,7 +434,12 @@ class DampiVerifier:
             tracer=telemetry.tracer if telemetry is not None else None,
         )
 
-    def verify(self, executor: Optional[ReplayExecutor] = None) -> VerificationReport:
+    def verify(
+        self,
+        executor: Optional[ReplayExecutor] = None,
+        journal=None,
+        faults: Optional[FaultPlan] = None,
+    ) -> VerificationReport:
         """The full coverage loop: self run + guided replays to exhaustion
         (or to the configured bounds).
 
@@ -427,44 +449,95 @@ class DampiVerifier:
         pre-compute the frontier wave on a worker pool.  Reports are
         bit-identical across ``jobs`` settings; see
         :mod:`repro.dampi.parallel`.
+
+        ``journal`` (a directory path or a
+        :class:`~repro.dampi.journal.CampaignJournal`) makes the session
+        crash-safe: every consumed run is durably appended, and a later
+        ``verify(journal=<same dir>)`` replays the journal instead of
+        re-executing the covered interleavings, then continues live —
+        producing a report bit-identical to an uninterrupted run (modulo
+        ``wall_seconds``/``telemetry``; ``report.journal_stats`` counts
+        replayed vs executed).  ``faults`` overrides the config-derived
+        fault plan with a shared instance (escalation stages use this so
+        one-shot faults stay one-shot across stages).
         """
         cfg = self.config
         report = VerificationReport(nprocs=self.nprocs, config=cfg)
         telemetry = CampaignTelemetry(cfg)
         started = time.perf_counter()
+        if faults is not None:
+            self._faults = faults
+        faults = self._faults
         generator = ScheduleGenerator(
             bound_k=cfg.bound_k, auto_loop_threshold=cfg.auto_loop_threshold
         )
         seen_error_keys: set[tuple[str, str]] = set()
+        witnessed_outcomes: set[frozenset] = set()
         store = None
         if cfg.artifacts_dir is not None:
             from repro.dampi.artifacts import ArtifactStore
 
             store = ArtifactStore(cfg.artifacts_dir)
+        if journal is not None:
+            from repro.dampi.journal import CampaignJournal
 
-        tele_token = telemetry.run_started()
-        result, trace = self.run_once()
-        if store is not None:
-            store.write_run(0, trace)
-        self._record_run(report, 0, None, result, trace, seen_error_keys)
-        telemetry.record_run(
-            0,
-            result,
-            trace,
-            flip=None,
-            error_kinds=report.runs[-1].error_kinds,
-            started=tele_token,
-        )
-        report.wildcards_analyzed = trace.wildcard_count
-        report.self_run_vtime = result.makespan
-        report.leak_report = result.artifacts.get("leaks")
-        report.monitor_report = result.artifacts.get("monitor")
-        generator.seed(trace)
+            if not isinstance(journal, CampaignJournal):
+                journal = CampaignJournal(
+                    journal,
+                    segment_bytes=cfg.journal_segment_bytes,
+                    fsync=cfg.journal_fsync,
+                )
+            journal.bind(tracer=telemetry.tracer, metrics=telemetry.metrics)
+            journal.ensure_meta(
+                self.nprocs, cfg, kwargs=self.kwargs, prog_args=self.args
+            )
+
+        history = journal.run_entries() if journal is not None else []
+        replayed = len(history)
+        applied = replayed  # run/failure entries journaled so far
+        run_index = 0
+        if history:
+            run_index, generator = self._replay_journal(
+                journal, history, report, telemetry, generator,
+                seen_error_keys, witnessed_outcomes, store,
+            )
+        else:
+            if faults:
+                faults.fire(
+                    "self", tracer=telemetry.tracer, metrics=telemetry.metrics
+                )
+            tele_token = telemetry.run_started()
+            result, trace = self.run_once()
+            if store is not None:
+                store.write_run(0, trace)
+            pre_seen = set(seen_error_keys)
+            self._record_run(report, 0, None, result, trace, seen_error_keys)
+            telemetry.record_run(
+                0,
+                result,
+                trace,
+                flip=None,
+                error_kinds=report.runs[-1].error_kinds,
+                started=tele_token,
+            )
+            report.wildcards_analyzed = trace.wildcard_count
+            report.self_run_vtime = result.makespan
+            report.leak_report = result.artifacts.get("leaks")
+            report.monitor_report = result.artifacts.get("monitor")
+            generator.seed(trace)
+            witnessed_outcomes.add(report.runs[0].outcome)
+            if journal is not None:
+                journal.append(
+                    self._journal_run_entry(
+                        0, None, result, trace, report, 0, seen_error_keys, pre_seen
+                    )
+                )
+                applied = 1
         if executor is None:
             executor = self._make_executor(telemetry)
-        witnessed_outcomes: set[frozenset] = {report.runs[0].outcome}
 
-        run_index = 0
+        executed = 0 if history else 1  # the live self run counts as executed
+        since_checkpoint = 0
         try:
             while True:
                 if cfg.max_interleavings is not None and report.interleavings >= cfg.max_interleavings:
@@ -479,14 +552,33 @@ class DampiVerifier:
                 if decisions is None:
                     break
                 run_index += 1
+                if faults:
+                    faults.fire(
+                        "run",
+                        (run_index,),
+                        tracer=telemetry.tracer,
+                        metrics=telemetry.metrics,
+                    )
                 tele_token = telemetry.run_started()
+                n_err = len(report.errors)
+                pre_seen = set(seen_error_keys) if journal is not None else set()
                 outcome = executor.run(decisions, batch)
+                executed += 1
                 if outcome.failure is not None:
                     generator.abandon()
                     self._record_worker_failure(
                         report, run_index, decisions, outcome.failure, seen_error_keys
                     )
                     telemetry.record_failure(run_index, outcome.failure)
+                    if journal is not None:
+                        journal.append(
+                            self._journal_failure_entry(
+                                run_index, decisions, outcome.failure,
+                                report, n_err, seen_error_keys, pre_seen,
+                            )
+                        )
+                        applied += 1
+                        since_checkpoint += 1
                     telemetry.heartbeat(report.interleavings, generator, executor)
                     continue
                 result, trace = outcome.result, outcome.trace
@@ -510,8 +602,25 @@ class DampiVerifier:
                     error_kinds=rec.error_kinds,
                     started=tele_token,
                 )
+                if journal is not None:
+                    journal.append(
+                        self._journal_run_entry(
+                            run_index, decisions, result, trace,
+                            report, n_err, seen_error_keys, pre_seen,
+                        )
+                    )
+                    applied += 1
+                    since_checkpoint += 1
+                    if since_checkpoint >= cfg.journal_checkpoint_interval:
+                        self._journal_checkpoint(
+                            journal, applied, generator, witnessed_outcomes, telemetry
+                        )
+                        since_checkpoint = 0
                 telemetry.heartbeat(report.interleavings, generator, executor)
         finally:
+            # the journal needs no explicit cleanup here: every append is
+            # already flushed+fsync'd, and the normal path below writes the
+            # end marker and closes it
             executor.close()
             self.close()
 
@@ -520,8 +629,282 @@ class DampiVerifier:
         report.parallel_stats = executor.stats()
         report.wall_seconds = time.perf_counter() - started
         telemetry.record_executor(report.parallel_stats)
+        if journal is not None:
+            journal.append(
+                {
+                    "t": "end",
+                    "interleavings": report.interleavings,
+                    "truncated": report.truncated,
+                }
+            )
+            journal.close()
+            report.journal_stats = {
+                "dir": str(journal.root),
+                "replayed": replayed,
+                "executed": executed,
+            }
+            telemetry.metrics.gauge("journal.replayed_runs").set(replayed)
+            telemetry.metrics.gauge("journal.executed_runs").set(executed)
         telemetry.finalize(report)
         return report
+
+    # -- journal plumbing ---------------------------------------------------------
+
+    def _replay_journal(
+        self, journal, history, report, telemetry, generator,
+        seen, witnessed, store,
+    ):
+        """Rebuild the session state from a journal without executing
+        anything: report state comes straight from the entries; DFS state
+        is recovered by *transition replay* — feeding each journaled trace
+        back through the generator's own ``seed``/``integrate``/``abandon``
+        (deterministic, so the rebuilt state is bit-identical) — with a
+        fast-forward from the latest checkpoint when one exists."""
+        from repro.dampi import journal as jr
+
+        ckpt = journal.latest_checkpoint()
+        fast_forward = 0
+        if ckpt is not None:
+            fast_forward = ckpt["applied"]
+            if fast_forward > len(history):
+                raise jr.JournalError(
+                    f"journal {journal.root}: checkpoint claims "
+                    f"{fast_forward} entries but only {len(history)} exist"
+                )
+        run_index = 0
+        for i, entry in enumerate(history):
+            live = i >= fast_forward
+            run_index = entry["index"]
+            if entry["t"] == "failure":
+                if live:
+                    decisions = generator.next_decisions()
+                    self._check_journal_schedule(journal, entry, decisions)
+                    generator.abandon()
+                self._apply_failure_entry(entry, report, telemetry, seen)
+            else:
+                trace = jr.trace_from_jsonable(entry["trace"])
+                fingerprint = completed_outcome(trace)
+                if run_index == 0:
+                    if live:
+                        generator.seed(trace)
+                elif live:
+                    decisions = generator.next_decisions()
+                    self._check_journal_schedule(journal, entry, decisions)
+                    generator.integrate(
+                        trace,
+                        seed_fresh=not (
+                            self.config.outcome_dedup and fingerprint in witnessed
+                        ),
+                    )
+                witnessed.add(fingerprint)
+                self._apply_run_entry(entry, trace, report, telemetry, seen)
+                if store is not None:
+                    decisions = (
+                        jr.decisions_from_jsonable(entry["key"])
+                        if entry.get("key")
+                        else None
+                    )
+                    store.write_run(run_index, trace, decisions)
+            if i + 1 == fast_forward:
+                generator = jr.restore_generator(ckpt["generator"])
+                witnessed.clear()
+                witnessed.update(
+                    jr.outcome_from_jsonable(o) for o in ckpt["witnessed"]
+                )
+        if telemetry.tracer is not None:
+            telemetry.tracer.instant(
+                "journal_resume", "journal", replayed=len(history)
+            )
+        return run_index, generator
+
+    def _check_journal_schedule(self, journal, entry, decisions) -> None:
+        """A journaled entry must match what the deterministic walk asks
+        for at that point — anything else means the program, its inputs,
+        or the config changed under the journal."""
+        from repro.dampi import journal as jr
+        from repro.dampi.parallel import schedule_key
+
+        expected = (
+            jr.decisions_from_jsonable(entry["key"]) if entry.get("key") else None
+        )
+        if (
+            decisions is None
+            or expected is None
+            or schedule_key(expected) != schedule_key(decisions)
+        ):
+            raise jr.JournalError(
+                f"journal {journal.root}: entry {entry['index']} diverges "
+                f"from the deterministic walk (journaled flip "
+                f"{expected.flip if expected else None}, walk asks "
+                f"{decisions.flip if decisions else None}) — was the "
+                f"program or its configuration changed since the journal "
+                f"was written?"
+            )
+
+    def _apply_entry_errors(self, entry, report, seen) -> None:
+        from repro.dampi import journal as jr
+
+        for err in entry.get("errors", ()):
+            decisions = (
+                jr.decisions_from_jsonable(err["decisions"])
+                if err.get("decisions")
+                else None
+            )
+            report.errors.append(
+                FoundError(err["kind"], err["run_index"], err["detail"], decisions)
+            )
+        seen.update(tuple(k) for k in entry.get("seen", ()))
+
+    def _apply_run_entry(self, entry, trace, report, telemetry, seen) -> None:
+        from repro.dampi import journal as jr
+
+        rec = entry["record"]
+        flip = tuple(rec["flip"]) if rec.get("flip") else None
+        report.interleavings += 1
+        report.total_vtime += rec["makespan"]
+        self._apply_entry_errors(entry, report, seen)
+        report.runs.append(
+            RunRecord(
+                index=entry["index"],
+                makespan=rec["makespan"],
+                wildcard_count=rec["wildcard_count"],
+                error_kinds=tuple(rec["error_kinds"]),
+                diverged=rec["diverged"],
+                flip=flip,
+                outcome=completed_outcome(trace),
+            )
+        )
+        if self.config.keep_traces:
+            report.traces.append(trace)
+        result = jr.JournaledResult(
+            makespan=rec["makespan"],
+            stats=entry.get("stats") or {},
+            artifacts=(
+                {"piggyback": entry["pb"]} if entry.get("pb") else {}
+            ),
+        )
+        telemetry.record_run(
+            entry["index"],
+            result,
+            trace,
+            flip=flip,
+            error_kinds=tuple(rec["error_kinds"]),
+            started=None,
+        )
+        extras = entry.get("extras")
+        if extras:
+            report.wildcards_analyzed = extras["wildcards_analyzed"]
+            report.self_run_vtime = extras["self_run_vtime"]
+            report.leak_report = jr.leaks_from_jsonable(extras["leaks"])
+            report.monitor_report = jr.monitor_from_jsonable(extras["monitor"])
+
+    def _apply_failure_entry(self, entry, report, telemetry, seen) -> None:
+        rec = entry["record"]
+        report.interleavings += 1
+        self._apply_entry_errors(entry, report, seen)
+        report.runs.append(
+            RunRecord(
+                index=entry["index"],
+                makespan=rec["makespan"],
+                wildcard_count=rec["wildcard_count"],
+                error_kinds=tuple(rec["error_kinds"]),
+                diverged=rec["diverged"],
+                flip=tuple(rec["flip"]) if rec.get("flip") else None,
+                outcome=frozenset(),
+            )
+        )
+        telemetry.record_failure(entry["index"], entry["reason"])
+
+    def _jsonable_error(self, error: FoundError) -> dict:
+        from repro.dampi import journal as jr
+
+        return {
+            "kind": error.kind,
+            "run_index": error.run_index,
+            "detail": error.detail,
+            "decisions": (
+                jr.decisions_to_jsonable(error.decisions)
+                if error.decisions is not None
+                else None
+            ),
+        }
+
+    def _journal_run_entry(
+        self, index, decisions, result, trace, report, n_err, seen, pre_seen
+    ) -> dict:
+        from repro.dampi import journal as jr
+
+        rec = report.runs[-1]
+        pb = result.artifacts.get("piggyback")
+        entry = {
+            "t": "run",
+            "index": index,
+            "key": (
+                jr.decisions_to_jsonable(decisions) if decisions is not None else None
+            ),
+            "trace": jr.trace_to_jsonable(trace),
+            "record": {
+                "makespan": rec.makespan,
+                "wildcard_count": rec.wildcard_count,
+                "error_kinds": list(rec.error_kinds),
+                "diverged": rec.diverged,
+                "flip": list(rec.flip) if rec.flip else None,
+            },
+            "stats": dict(result.stats or {}),
+            "pb": dict(pb) if pb else None,
+            "errors": [self._jsonable_error(e) for e in report.errors[n_err:]],
+            "seen": sorted(list(k) for k in (seen - pre_seen)),
+        }
+        if index == 0:
+            entry["extras"] = {
+                "wildcards_analyzed": report.wildcards_analyzed,
+                "self_run_vtime": report.self_run_vtime,
+                "leaks": jr.leaks_to_jsonable(report.leak_report),
+                "monitor": jr.monitor_to_jsonable(report.monitor_report),
+            }
+        return entry
+
+    def _journal_failure_entry(
+        self, index, decisions, reason, report, n_err, seen, pre_seen
+    ) -> dict:
+        from repro.dampi import journal as jr
+
+        rec = report.runs[-1]
+        return {
+            "t": "failure",
+            "index": index,
+            "key": jr.decisions_to_jsonable(decisions),
+            "reason": reason,
+            "record": {
+                "makespan": rec.makespan,
+                "wildcard_count": rec.wildcard_count,
+                "error_kinds": list(rec.error_kinds),
+                "diverged": rec.diverged,
+                "flip": list(rec.flip) if rec.flip else None,
+            },
+            "errors": [self._jsonable_error(e) for e in report.errors[n_err:]],
+            "seen": sorted(list(k) for k in (seen - pre_seen)),
+        }
+
+    def _journal_checkpoint(
+        self, journal, applied, generator, witnessed, telemetry
+    ) -> None:
+        from repro.dampi import journal as jr
+
+        journal.append(
+            {
+                "t": "checkpoint",
+                "applied": applied,
+                "generator": jr.snapshot_generator(generator),
+                "witnessed": sorted(
+                    jr.outcome_to_jsonable(o) for o in witnessed
+                ),
+            }
+        )
+        if telemetry.tracer is not None:
+            telemetry.tracer.instant(
+                "journal_checkpoint", "journal", applied=applied
+            )
 
     def _record_worker_failure(
         self,

@@ -46,6 +46,7 @@ _EXEC_COUNTER_NAMES = {
     "misses": "exec.cache_misses",
     "failures": "exec.failures",
     "wasted": "exec.wasted",
+    "abandoned_workers": "exec.abandoned_workers",
 }
 
 

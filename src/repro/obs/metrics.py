@@ -19,9 +19,12 @@ from bisect import bisect_left
 from typing import Dict, Sequence, Tuple
 
 #: Instrument-name prefixes whose values depend on the environment
-#: (scheduling, host speed, worker pool) rather than the verified
-#: execution.  Everything else must be jobs-invariant.
-NONDETERMINISTIC_PREFIXES: Tuple[str, ...] = ("exec.", "wall.")
+#: (scheduling, host speed, worker pool, crash/resume history, injected
+#: faults) rather than the verified execution.  Everything else must be
+#: jobs-invariant — and invariant across journal resumes.
+NONDETERMINISTIC_PREFIXES: Tuple[str, ...] = (
+    "exec.", "wall.", "journal.", "fault.",
+)
 
 
 class Counter:

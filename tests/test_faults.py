@@ -1,0 +1,294 @@
+"""The deterministic fault-injection harness, and what it proves:
+
+* the plan grammar parses (and rejects) what the docs promise;
+* kill/hang/delay/raise fire at the self/run/flip/stage/cell sites;
+* a worker lost mid-wave is contained — the campaign keeps walking;
+* a wedged worker is abandoned by recycling the pool, not waited on;
+* a killed campaign cell is recorded failed and the sweep keeps going;
+* none of it leaks into the deterministic telemetry namespaces.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.dampi import (
+    DampiConfig,
+    DampiVerifier,
+    FaultInjected,
+    FaultPlan,
+    run_campaign,
+)
+from repro.dampi.campaign import escalating_verify
+from repro.dampi.faults import (
+    DEFAULT_HANG_SECONDS,
+    FAULT_EXIT_CODE,
+    FaultPlanError,
+    _parse_term,
+)
+from repro.obs.metrics import deterministic_view
+from repro.workloads.patterns import wildcard_lattice
+from tests.test_parallel import _report_fingerprint
+
+LATTICE = {"receives": 2, "senders": 2}
+
+
+class TestPlanGrammar:
+    @pytest.mark.parametrize(
+        "term, action, site, selector, param",
+        [
+            ("kill@self", "kill", "self", (), None),
+            ("kill@run:3", "kill", "run", (3,), None),
+            ("kill@flip:1.2", "kill", "flip", (1, 2), None),
+            ("kill@flip:1.2.0", "kill", "flip", (1, 2, 0), None),
+            ("hang@flip:1.2:30", "hang", "flip", (1, 2), 30.0),
+            ("delay@run:2:0.05", "delay", "run", (2,), 0.05),
+            ("raise@run:4", "raise", "run", (4,), None),
+            ("kill@stage:k1", "kill", "stage", ("k1",), None),
+            ("kill@stage:unbounded", "kill", "stage", ("unbounded",), None),
+            ("kill@cell:3.quick-k0", "kill", "cell", (3, "quick-k0"), None),
+        ],
+    )
+    def test_valid_terms(self, term, action, site, selector, param):
+        fault = _parse_term(term)
+        assert (fault.action, fault.site, fault.selector, fault.param) == (
+            action, site, selector, param,
+        )
+
+    @pytest.mark.parametrize(
+        "term",
+        [
+            "kill",                  # no site
+            "explode@self",          # unknown action
+            "kill@everywhere",       # unknown site
+            "kill@run",              # run needs an index
+            "kill@run:x",            # non-integer index
+            "kill@flip:1",           # flip needs rank.lc
+            "kill@flip:1.2.3.4",     # too many flip fields
+            "kill@stage",            # stage needs a label
+            "kill@cell:3",           # cell needs nprocs.name
+            "kill@run:1:2:3",        # trailing fields
+        ],
+    )
+    def test_bad_terms_rejected(self, term):
+        with pytest.raises(FaultPlanError):
+            _parse_term(term)
+
+    def test_plan_parse_and_spec_roundtrip(self):
+        spec = "kill@run:3,hang@flip:1.2:30,delay@self:0.5"
+        plan = FaultPlan.parse(spec)
+        assert len(plan.faults) == 3
+        assert FaultPlan.parse(plan.spec()).spec() == plan.spec()
+
+    def test_empty_plan_is_falsy_noop(self):
+        plan = FaultPlan.parse(None)
+        assert not plan
+        plan.fire("self")  # no-op, no error
+
+    def test_config_validates_plan_eagerly(self):
+        with pytest.raises(FaultPlanError):
+            DampiConfig(fault_plan="explode@self")
+
+    def test_prefix_selector_matching(self):
+        fault = _parse_term("kill@flip:1.2")
+        assert fault.matches((1, 2))
+        assert fault.matches((1, 2, 0))  # any source at that epoch
+        assert not fault.matches((1, 3))
+        exact = _parse_term("kill@flip:1.2.0")
+        assert exact.matches((1, 2, 0))
+        assert not exact.matches((1, 2))  # site provides fewer fields
+
+
+class TestSoftActions:
+    def test_raise_aborts_the_verification(self):
+        v = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(fault_plan="raise@run:1"),
+            kwargs=LATTICE,
+        )
+        with pytest.raises(FaultInjected):
+            v.verify()
+
+    def test_one_shot_across_shared_plan(self):
+        plan = FaultPlan.parse("raise@run:1")
+        with pytest.raises(FaultInjected):
+            DampiVerifier(
+                wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+            ).verify(faults=plan)
+        # same plan instance: already fired, the retry sails through
+        report = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(faults=plan)
+        assert report.ok
+
+    def test_delay_changes_nothing_but_wall_clock(self):
+        oracle = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify()
+        delayed = DampiVerifier(
+            wildcard_lattice,
+            3,
+            DampiConfig(fault_plan="delay@run:1:0.01,delay@self:0.01"),
+            kwargs=LATTICE,
+        ).verify()
+        assert _report_fingerprint(delayed) == _report_fingerprint(oracle)
+
+    def test_default_hang_duration_is_an_hour(self):
+        assert DEFAULT_HANG_SECONDS == 3600.0
+
+
+def _pool_verify_child(conn, fault_plan, timeout):
+    """Child-process body: a pooled verification whose fault plan targets
+    replay execution.  Run in a child so that if containment ever fails
+    and the kill reaches the main loop, it takes down this sacrificial
+    process (exitcode 43) instead of the test runner."""
+    cfg = DampiConfig(
+        jobs=2,
+        force_jobs=True,
+        fault_plan=fault_plan,
+        **({"job_timeout_seconds": timeout} if timeout else {}),
+    )
+    report = DampiVerifier(
+        wildcard_lattice, 3, cfg, kwargs=LATTICE
+    ).verify()
+    conn.send(
+        {
+            "interleavings": report.interleavings,
+            "error_kinds": sorted({e.kind for e in report.errors}),
+            "details": sorted(e.detail for e in report.errors),
+            "stats": report.parallel_stats,
+        }
+    )
+    conn.close()
+    os._exit(0)
+
+
+def _pool_verify_outcome(fault_plan, timeout=None):
+    ctx = multiprocessing.get_context("fork")
+    recv, send = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_pool_verify_child, args=(send, fault_plan, timeout))
+    proc.start()
+    send.close()
+    payload = recv.recv() if recv.poll(120) else None
+    proc.join(30)
+    assert proc.exitcode == 0, (
+        f"main verification loop died (exitcode {proc.exitcode}) — "
+        f"a worker-targeted fault escaped containment"
+    )
+    assert payload is not None
+    return payload
+
+
+class TestWorkerFaults:
+    def test_midwave_kill_is_contained_to_the_worker(self):
+        """A worker killed mid-replay (flip (0,0) runs only in the pool)
+        breaks the pool; the campaign records the lost replay as a crash
+        witness and finishes the rest of the walk demoted."""
+        out = _pool_verify_outcome("kill@flip:0.0")
+        assert "crash" in out["error_kinds"]
+        assert any("worker died" in d for d in out["details"])
+        assert out["stats"]["demoted"]
+        assert out["interleavings"] >= 3  # self + surviving replays + loss
+
+    def test_hung_worker_is_abandoned_by_recycling_the_pool(self):
+        """Satellite bugfix: a wedged worker cannot be cancel()ed — the
+        pool is rebuilt, the worker counted abandoned, and the session
+        keeps its pool (no demotion to inline)."""
+        out = _pool_verify_outcome("hang@flip:0.0:30", timeout=0.25)
+        assert any("exceeded" in d for d in out["details"])
+        assert out["stats"]["abandoned_workers"] == 1
+        assert not out["stats"]["demoted"]
+        assert out["stats"]["mode"] == "pool"
+
+
+class TestStageFaults:
+    def test_stage_boundary_fault_fires_between_stages(self):
+        with pytest.raises(FaultInjected):
+            escalating_verify(
+                wildcard_lattice,
+                4,
+                DampiConfig(fault_plan="raise@stage:k1"),
+                kwargs={"receives": 3, "senders": 3},
+            )
+
+    def test_unfired_stage_fault_is_harmless(self):
+        # stage k9 never runs, so the fault never fires
+        result = escalating_verify(
+            wildcard_lattice,
+            3,
+            DampiConfig(fault_plan="raise@stage:k9"),
+            kwargs=LATTICE,
+        )
+        assert result.final_report is not None and not result.errors
+
+
+class TestCellFaults:
+    def test_serial_cell_fault_recorded_and_sweep_continues(self):
+        configs = {
+            "boom": DampiConfig(fault_plan="raise@cell:3.boom"),
+            "ok": DampiConfig(),
+        }
+        result = run_campaign(
+            wildcard_lattice, [3], configs=configs, kwargs=LATTICE, jobs=1
+        )
+        assert not result.ok
+        failed = result.failed_cells
+        assert [c.config_name for c in failed] == ["boom"]
+        assert "FaultInjected" in failed[0].failure
+        ok = [c for c in result.cells if c.config_name == "ok"]
+        assert ok[0].report is not None and ok[0].report.ok
+        assert "FAILED" in result.summary()
+
+    def test_pooled_cell_kill_blames_the_cell_and_sweep_survives(self):
+        """Satellite bugfix: a cell worker dying used to crash the whole
+        sweep out of the bare fut.result(); now the dead cell is recorded
+        failed and the other cells still verify."""
+        configs = {
+            "boom": DampiConfig(fault_plan="kill@cell:3.boom"),
+            "ok": DampiConfig(),
+        }
+        result = run_campaign(
+            wildcard_lattice, [3], configs=configs, kwargs=LATTICE, jobs=2
+        )
+        assert not result.ok
+        assert [c.config_name for c in result.failed_cells] == ["boom"]
+        assert "died" in result.failed_cells[0].failure
+        ok = [c for c in result.cells if c.config_name == "ok"]
+        assert ok[0].report is not None and ok[0].report.ok
+        # cell order matches the grid, failures included
+        assert [c.config_name for c in result.cells] == ["boom", "ok"]
+
+
+class TestTelemetryIsolation:
+    def test_fault_and_journal_metrics_are_nondeterministic_namespaces(
+        self, tmp_path
+    ):
+        """Journaling and injecting (harmless) faults must not perturb the
+        deterministic engine.*/pb.*/campaign.*/run.* totals."""
+        def verify(jobs, journal=None, fault_plan=None):
+            cfg = DampiConfig(
+                jobs=jobs,
+                force_jobs=jobs > 1,
+                fault_plan=fault_plan,
+                trace_events=True,
+            )
+            return DampiVerifier(
+                wildcard_lattice, 3, cfg, kwargs=LATTICE
+            ).verify(journal=journal)
+
+        plain = verify(1)
+        dressed = verify(
+            2, journal=tmp_path / "j", fault_plan="delay@run:1:0.01"
+        )
+        assert deterministic_view(
+            plain.telemetry["metrics"]
+        ) == deterministic_view(dressed.telemetry["metrics"])
+        counters = dressed.telemetry["metrics"]["counters"]
+        assert counters.get("fault.injected") == 1
+        assert counters.get("fault.delay") == 1
+        assert counters.get("journal.appends", 0) > 0
+        view = deterministic_view(dressed.telemetry["metrics"])["counters"]
+        assert not any(
+            name.startswith(("fault.", "journal.", "exec.")) for name in view
+        )

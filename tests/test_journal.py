@@ -1,0 +1,380 @@
+"""The durable campaign journal: crash, resume, bit-identity.
+
+The acceptance bar for this subsystem: a campaign killed mid-run (by an
+injected fault) and resumed from its journal produces a report
+bit-identical to an uninterrupted run — without re-executing the
+interleavings already journaled (the re-executed count is asserted).
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.dampi import (
+    CampaignJournal,
+    DampiConfig,
+    DampiVerifier,
+    JournalError,
+    escalating_verify,
+    run_campaign,
+)
+from repro.dampi import journal as jr
+from repro.dampi.decisions import EpochDecisions
+from repro.dampi.explorer import ScheduleGenerator
+from repro.dampi.faults import FAULT_EXIT_CODE
+from repro.dampi.parallel import schedule_key
+from repro.workloads.patterns import wildcard_lattice
+from tests.test_explorer import trace_with
+from tests.test_parallel import _report_fingerprint
+
+#: 4 interleavings at np=3 — small enough to crash precisely mid-walk
+LATTICE = {"receives": 2, "senders": 2}
+#: 27 interleavings at np=4 — big enough for checkpoints and rotation
+BIG = {"receives": 3, "senders": 3}
+
+
+def _canon(report) -> dict:
+    """The bit-identity view of a report: its JSON minus the two fields
+    that are honest about wall-clock (and therefore never reproducible)."""
+    d = json.loads(report.to_json())
+    d.pop("wall_seconds", None)
+    d.pop("telemetry", None)
+    return d
+
+
+def _verify_child(journal_dir, fault_plan, nprocs, kwargs, cfg_overrides):
+    """Child-process body: run a journaled verification that a ``kill``
+    fault is expected to take down."""
+    cfg = DampiConfig(fault_plan=fault_plan, **cfg_overrides)
+    DampiVerifier(
+        wildcard_lattice, nprocs, cfg, kwargs=dict(kwargs)
+    ).verify(journal=journal_dir)
+    os._exit(0)  # reached only if the plan never killed us
+
+
+def _crash_campaign(journal_dir, fault_plan, nprocs=3, kwargs=LATTICE, **cfg):
+    """Run a journaled verification in a child process and assert the
+    injected fault — not anything else — killed it."""
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(
+        target=_verify_child,
+        args=(str(journal_dir), fault_plan, nprocs, kwargs, cfg),
+    )
+    proc.start()
+    proc.join(120)
+    assert proc.exitcode == FAULT_EXIT_CODE, proc.exitcode
+
+
+class TestCrashResume:
+    def test_midrun_kill_then_resume_is_bit_identical(self, tmp_path):
+        """THE acceptance test: kill the campaign before replay 2, resume,
+        get the uninterrupted report back bit-for-bit — having re-executed
+        only the runs the journal had not yet seen."""
+        oracle = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify()
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:2")
+        resumed = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        # the journal held the self run + replay 1; only 2..3 re-executed
+        assert resumed.journal_stats["replayed"] == 2
+        assert resumed.journal_stats["executed"] == oracle.interleavings - 2
+        assert _canon(resumed) == _canon(oracle)
+        assert _report_fingerprint(resumed) == _report_fingerprint(oracle)
+
+    def test_kill_during_self_run_restarts_cleanly(self, tmp_path):
+        oracle = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify()
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@self")
+        resumed = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        # nothing made it to the journal before the kill
+        assert resumed.journal_stats == {
+            "dir": str(journal_dir),
+            "replayed": 0,
+            "executed": oracle.interleavings,
+        }
+        assert _canon(resumed) == _canon(oracle)
+
+    def test_complete_journal_replays_without_executing(self, tmp_path):
+        journal_dir = tmp_path / "j"
+        first = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        assert first.journal_stats["executed"] == first.interleavings
+        assert CampaignJournal(journal_dir).complete
+        resumed = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        assert resumed.journal_stats["replayed"] == first.interleavings
+        assert resumed.journal_stats["executed"] == 0
+        assert _canon(resumed) == _canon(first)
+
+    def test_checkpoint_fast_forward(self, tmp_path):
+        """A kill deep in a large walk resumes through a checkpoint (the
+        generator snapshot) rather than replaying every transition live."""
+        cfg = dict(journal_checkpoint_interval=4)
+        oracle = DampiVerifier(
+            wildcard_lattice, 4, DampiConfig(**cfg), kwargs=BIG
+        ).verify()
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:20", nprocs=4, kwargs=BIG, **cfg)
+        journal = CampaignJournal(journal_dir)
+        ckpt = journal.latest_checkpoint()
+        assert ckpt is not None and ckpt["applied"] >= 4
+        resumed = DampiVerifier(
+            wildcard_lattice, 4, DampiConfig(**cfg), kwargs=BIG
+        ).verify(journal=journal_dir)
+        assert resumed.journal_stats["replayed"] == 20
+        assert resumed.journal_stats["executed"] == oracle.interleavings - 20
+        assert _canon(resumed) == _canon(oracle)
+
+    def test_each_attempt_opens_a_new_segment(self, tmp_path):
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:2")
+        segments = sorted(p.name for p in journal_dir.glob("segment-*.jsonl"))
+        assert segments == ["segment-00000.jsonl"]
+        DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        segments = sorted(p.name for p in journal_dir.glob("segment-*.jsonl"))
+        assert segments == ["segment-00000.jsonl", "segment-00001.jsonl"]
+
+    def test_segment_rotation_preserves_resume(self, tmp_path):
+        journal_dir = tmp_path / "j"
+        cfg = dict(journal_segment_bytes=4096)
+        oracle = DampiVerifier(
+            wildcard_lattice, 4, DampiConfig(), kwargs=BIG
+        ).verify()
+        _crash_campaign(journal_dir, "kill@run:10", nprocs=4, kwargs=BIG, **cfg)
+        assert len(list(journal_dir.glob("segment-*.jsonl"))) > 1
+        resumed = DampiVerifier(
+            wildcard_lattice, 4, DampiConfig(**cfg), kwargs=BIG
+        ).verify(journal=journal_dir)
+        assert resumed.journal_stats["replayed"] == 10
+        assert _canon(resumed) == _canon(oracle)
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        """A record half-written at the instant of death (no trailing
+        newline) is discarded on load instead of poisoning the journal."""
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:2")
+        segment = max(journal_dir.glob("segment-*.jsonl"))
+        with open(segment, "ab") as f:
+            f.write(b'{"t": "run", "index": 99, "trace"')  # torn mid-record
+        oracle = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify()
+        resumed = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        assert resumed.journal_stats["replayed"] == 2
+        assert _canon(resumed) == _canon(oracle)
+
+    def test_corrupt_interior_record_is_rejected(self, tmp_path):
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:2")
+        segment = max(journal_dir.glob("segment-*.jsonl"))
+        with open(segment, "ab") as f:
+            f.write(b"this is not json\n")  # newline-terminated: not a torn tail
+        with pytest.raises(JournalError):
+            CampaignJournal(journal_dir)
+
+    def test_changed_config_is_rejected(self, tmp_path):
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:2")
+        with pytest.raises(JournalError):
+            DampiVerifier(
+                wildcard_lattice, 3, DampiConfig(bound_k=0), kwargs=LATTICE
+            ).verify(journal=journal_dir)
+
+    def test_changed_kwargs_are_rejected(self, tmp_path):
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:2")
+        with pytest.raises(JournalError):
+            DampiVerifier(
+                wildcard_lattice,
+                3,
+                DampiConfig(),
+                kwargs={"receives": 3, "senders": 2},
+            ).verify(journal=journal_dir)
+
+    def test_execution_knobs_do_not_invalidate_the_journal(self, tmp_path):
+        """jobs / fault_plan / journal tuning are bit-identity-preserving,
+        so resuming under different values of them must be allowed."""
+        journal_dir = tmp_path / "j"
+        _crash_campaign(journal_dir, "kill@run:2")
+        resumed = DampiVerifier(
+            wildcard_lattice,
+            3,
+            DampiConfig(jobs=2, journal_checkpoint_interval=1),
+            kwargs=LATTICE,
+        ).verify(journal=journal_dir)
+        assert resumed.journal_stats["replayed"] == 2
+
+    def test_journal_stats_stay_off_the_report_json(self, tmp_path):
+        report = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=LATTICE
+        ).verify(journal=tmp_path / "j")
+        assert report.journal_stats is not None
+        assert "journal_stats" not in json.loads(report.to_json())
+
+
+class TestFailureEntryResume:
+    def test_worker_crash_failure_entries_resume_bit_identically(self, tmp_path):
+        """A replay lost to a dying pool worker lands in the journal as a
+        failure entry; resuming replays the abandon and the rest of the
+        walk matches the faulted run exactly."""
+        cfg = DampiConfig(
+            jobs=2, force_jobs=True, fault_plan="raise@flip:0.0"
+        )
+        journal_dir = tmp_path / "j"
+        faulted = DampiVerifier(
+            wildcard_lattice, 3, cfg, kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        assert any(e.kind == "crash" for e in faulted.errors)
+        resumed = DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(jobs=1), kwargs=LATTICE
+        ).verify(journal=journal_dir)
+        assert resumed.journal_stats["executed"] == 0
+        assert _canon(resumed) == _canon(faulted)
+
+    def test_post_crash_schedules_match_the_oracle_walk(self, tmp_path):
+        """Regression for the abandon() bug: after a lost replay, every
+        schedule the generator emits afterwards must still be one the
+        clean oracle walk emits — a stale ``chosen`` on the flipped node
+        would smuggle never-executed sources into later forced prefixes."""
+        oracle_dir, faulted_dir = tmp_path / "oracle", tmp_path / "faulted"
+        DampiVerifier(
+            wildcard_lattice, 4, DampiConfig(), kwargs=BIG
+        ).verify(journal=oracle_dir)
+        DampiVerifier(
+            wildcard_lattice,
+            4,
+            DampiConfig(jobs=2, force_jobs=True, fault_plan="raise@flip:0.0"),
+            kwargs=BIG,
+        ).verify(journal=faulted_dir)
+        def keys(journal_dir):
+            out = []
+            for e in CampaignJournal(journal_dir).run_entries():
+                if e.get("key") is not None:
+                    out.append(schedule_key(jr.decisions_from_jsonable(e["key"])))
+            return out
+        oracle_keys, faulted_keys = keys(oracle_dir), keys(faulted_dir)
+        assert len(faulted_keys) == len(set(faulted_keys))  # no re-emission
+        assert set(faulted_keys) <= set(oracle_keys)
+
+
+class TestCampaignJournals:
+    def test_escalate_resumes_across_stages(self, tmp_path):
+        oracle = escalating_verify(wildcard_lattice, 4, kwargs=BIG)
+        journal_dir = tmp_path / "j"
+        first = escalating_verify(
+            wildcard_lattice, 4, kwargs=BIG, journal_dir=journal_dir
+        )
+        resumed = escalating_verify(
+            wildcard_lattice, 4, kwargs=BIG, journal_dir=journal_dir
+        )
+        assert [s.label for s in resumed.steps] == [s.label for s in oracle.steps]
+        for a, b in zip(resumed.steps, oracle.steps):
+            assert _canon(a.report) == _canon(b.report)
+        for step in resumed.steps:
+            assert step.report.journal_stats["executed"] == 0
+        assert resumed.stopped_reason == first.stopped_reason
+
+    def test_campaign_cells_resume_from_their_journals(self, tmp_path):
+        journal_dir = tmp_path / "j"
+        first = run_campaign(
+            wildcard_lattice, [3], kwargs=LATTICE, journal_dir=journal_dir
+        )
+        resumed = run_campaign(
+            wildcard_lattice, [3], kwargs=LATTICE, journal_dir=journal_dir
+        )
+        assert resumed.ok
+        for a, b in zip(resumed.cells, first.cells):
+            assert a.report.journal_stats["executed"] == 0
+            assert _canon(a.report) == _canon(b.report)
+
+
+class TestSerialization:
+    def test_decisions_roundtrip(self):
+        d = EpochDecisions(forced={(0, 1): 2, (1, 0): 0}, flip=(0, 1))
+        d2 = jr.decisions_from_jsonable(jr.decisions_to_jsonable(d))
+        assert schedule_key(d2) == schedule_key(d)
+
+    def test_decisions_roundtrip_no_flip(self):
+        d = EpochDecisions(forced={}, flip=None)
+        d2 = jr.decisions_from_jsonable(jr.decisions_to_jsonable(d))
+        assert d2.flip is None and d2.forced == {}
+
+    def test_outcome_roundtrip(self):
+        outcome = frozenset({((0, 1), 2), ((1, 0), 0)})
+        assert jr.outcome_from_jsonable(jr.outcome_to_jsonable(outcome)) == outcome
+
+    def test_generator_snapshot_roundtrip(self):
+        gen = ScheduleGenerator(bound_k=1)
+        gen.seed(
+            trace_with(
+                [(0, 0, 0), (0, 1, 1)], [(0, 0, 1), (0, 1, 0)], nprocs=3
+            )
+        )
+        gen.next_decisions()
+        gen.abandon()  # leave tried/chosen state behind
+        snap = jr.snapshot_generator(gen)
+        restored = jr.restore_generator(snap)
+        assert jr.snapshot_generator(restored) == snap
+        # the restored walk emits exactly what the original would
+        assert restored.next_decisions() == gen.next_decisions()
+
+    def test_snapshot_refuses_pending_flip(self):
+        gen = ScheduleGenerator()
+        gen.seed(trace_with([(0, 0, 0)], [(0, 0, 1)], nprocs=2))
+        assert gen.next_decisions() is not None
+        with pytest.raises(JournalError):
+            jr.snapshot_generator(gen)
+
+    def test_config_signature_ignores_execution_knobs(self):
+        base = DampiConfig()
+        same = DampiConfig(jobs=4, fault_plan="kill@self", journal_fsync=False)
+        different = DampiConfig(bound_k=2)
+        assert jr.config_signature(3, base) == jr.config_signature(3, same)
+        assert jr.config_signature(3, base) != jr.config_signature(3, different)
+        assert jr.config_signature(3, base) != jr.config_signature(4, base)
+        assert jr.config_signature(3, base) != jr.config_signature(
+            3, base, kwargs={"receives": 2}
+        )
+
+
+class TestCliJournal:
+    PROG = "repro.workloads.patterns:wildcard_lattice"
+
+    def test_verify_journal_dir_then_resume(self, tmp_path, capsys):
+        journal_dir = tmp_path / "j"
+        rc = main(
+            [
+                "verify", self.PROG, "--nprocs", "3",
+                "--kwargs", json.dumps(LATTICE),
+                "--journal-dir", str(journal_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0 and "journal" in out
+        rc = main(["resume", str(journal_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # resumed a complete journal: everything replayed, nothing executed
+        assert "run(s) replayed, 0 executed" in out
+
+    def test_resume_without_meta_errors(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["resume", str(empty)])

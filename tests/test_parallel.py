@@ -269,6 +269,11 @@ class TestWorkerPoolDegradation:
         timeouts = [e for e in report.errors if "exceeded" in e.detail]
         assert timeouts and all(e.kind == "crash" for e in timeouts)
         assert all(e.decisions is not None for e in timeouts)
+        # each wedged worker was abandoned by recycling the pool — the
+        # session stays in pool mode rather than demoting to inline
+        stats = report.parallel_stats
+        assert stats["abandoned_workers"] == len(timeouts)
+        assert not stats["demoted"]
 
 
 class TestParallelCampaign:
