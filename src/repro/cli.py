@@ -257,6 +257,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-runs", action="store_true", help="print the per-run table"
     )
 
+    d = sub.add_parser(
+        "dist",
+        help="distributed verification: shard the decision tree across "
+        "worker processes with durable leases and work stealing",
+    )
+    dsub = d.add_subparsers(dest="dist_command", required=True)
+
+    dr = dsub.add_parser(
+        "run", help="run a distributed verification campaign"
+    )
+    common(dr)
+    dr.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes exploring leased subtrees (default 2); the "
+        "report is bit-identical for any N",
+    )
+    dr.add_argument(
+        "--clock", default="lamport", choices=DampiConfig._CLOCK_IMPLS
+    )
+    dr.add_argument(
+        "--bound-k", type=int, default=None, metavar="K",
+        help="bounded mixing window",
+    )
+    dr.add_argument(
+        "--max-interleavings", type=int, default=None,
+        help="exploration budget (applied during report assembly)",
+    )
+    dr.add_argument(
+        "--progress", type=float, default=None, metavar="SECONDS",
+        help="one aggregated fleet heartbeat to stderr every SECONDS",
+    )
+    dr.add_argument(
+        "--journal-dir", type=Path, default=None, metavar="DIR",
+        help="durable coordinator journal (leases, streamed records, "
+        "per-lease worker shards); survives worker AND coordinator "
+        "crashes — 'repro dist resume DIR' continues",
+    )
+    dr.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="deterministic fault injection, e.g. 'kill@worker:2' or "
+        "'kill@coord:3' (see repro.dampi.faults)",
+    )
+    dr.add_argument(
+        "--json-out", type=Path, default=None, metavar="FILE",
+        help="write the report JSON",
+    )
+    dr.add_argument(
+        "--show-runs", action="store_true", help="print the per-run table"
+    )
+
+    dz = dsub.add_parser(
+        "resume",
+        help="resume a crashed distributed campaign from its --journal-dir",
+    )
+    dz.add_argument("journal_dir", type=Path, help="a dist run --journal-dir")
+    dz.add_argument(
+        "--workers", "-w", type=int, default=None, metavar="N",
+        help="worker count for the resumed attempt (default: as recorded)",
+    )
+    dz.add_argument(
+        "--program", default=None,
+        help="override the program spec recorded in the journal",
+    )
+    dz.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="fault plan for the resumed attempt (the recorded plan is "
+        "NOT re-injected by default — the fault already happened)",
+    )
+    dz.add_argument(
+        "--json-out", type=Path, default=None, metavar="FILE",
+        help="write the report JSON",
+    )
+    dz.add_argument(
+        "--show-runs", action="store_true", help="print the per-run table"
+    )
+
+    dst = dsub.add_parser(
+        "status",
+        help="inspect a distributed journal (leases, records, completeness)",
+    )
+    dst.add_argument("journal_dir", type=Path, help="a dist run --journal-dir")
+
     r = sub.add_parser("replay", help="re-run one schedule from a decisions file")
     common(r)
     r.add_argument(
@@ -421,6 +507,19 @@ def cmd_resume(args) -> int:
             f"{args.journal_dir}: no journal meta record found "
             f"(empty directory, or not a campaign journal)"
         )
+    mode = (meta.get("signature") or {}).get("journal_mode", "campaign")
+    if mode == "shard":
+        raise SystemExit(
+            f"{args.journal_dir} is a worker shard journal of a distributed "
+            f"campaign — it covers one leased subtree, not the whole "
+            f"verification; resume the campaign's coordinator journal with "
+            f"'repro dist resume' instead"
+        )
+    if mode != "campaign":
+        raise SystemExit(
+            f"{args.journal_dir} is a {mode!r} journal; use "
+            f"'repro dist resume' on it"
+        )
     spec = args.program or meta.get("program")
     if not spec:
         raise SystemExit(
@@ -468,6 +567,141 @@ def cmd_resume(args) -> int:
     return 1 if report.errors else 0
 
 
+def _print_dist_report(args, report) -> int:
+    print(report.summary())
+    ps = report.parallel_stats or {}
+    print(
+        f"  distributed: {ps.get('workers')} worker(s), "
+        f"{ps.get('leases')} lease(s), {ps.get('records')} record(s), "
+        f"{ps.get('worker_deaths', 0)} worker death(s)"
+    )
+    if report.journal_stats is not None:
+        js = report.journal_stats
+        print(
+            f"  journal: {js['replayed']} record(s) replayed from "
+            f"{js['dir']}, {js['executed']} executed"
+        )
+    if args.show_runs:
+        print(report.run_table(limit=None))
+    if args.json_out is not None:
+        args.json_out.write_text(report.to_json() + "\n")
+        print(f"  report JSON saved: {args.json_out}")
+    return 1 if report.errors else 0
+
+
+def cmd_dist_run(args) -> int:
+    from repro.dampi.journal import CampaignJournal
+    from repro.dist import distributed_verify
+
+    program = resolve_program(args.program)
+    config = DampiConfig(
+        clock_impl=args.clock,
+        bound_k=args.bound_k,
+        max_interleavings=args.max_interleavings,
+        policy=args.policy,
+        progress_interval_seconds=args.progress,
+        fault_plan=args.fault_plan,
+    )
+    journal = None
+    if args.journal_dir is not None:
+        journal = CampaignJournal(
+            args.journal_dir,
+            segment_bytes=config.journal_segment_bytes,
+            fsync=config.journal_fsync,
+            program_label=args.program,
+        )
+    report = distributed_verify(
+        program,
+        args.nprocs,
+        config=config,
+        workers=args.workers,
+        journal=journal,
+        kwargs=json.loads(args.kwargs),
+    )
+    return _print_dist_report(args, report)
+
+
+def cmd_dist_resume(args) -> int:
+    """Like 'repro resume' but for a coordinator journal: program spec,
+    nprocs, config, and worker count all come from the meta record."""
+    from repro.dampi.journal import CampaignJournal
+    from repro.dist import distributed_verify
+    from repro.mpi.costmodel import CostModel
+
+    journal = CampaignJournal(args.journal_dir)
+    meta = journal.meta
+    if meta is None:
+        raise SystemExit(
+            f"{args.journal_dir}: no journal meta record found "
+            f"(empty directory, or not a campaign journal)"
+        )
+    mode = (meta.get("signature") or {}).get("journal_mode", "campaign")
+    if mode != "dist":
+        raise SystemExit(
+            f"{args.journal_dir} is a {mode!r} journal, not a distributed "
+            f"coordinator journal; use "
+            f"{'repro resume' if mode == 'campaign' else 'the coordinator journal'} instead"
+        )
+    spec = args.program or meta.get("program")
+    if not spec:
+        raise SystemExit(
+            "this journal does not record a program spec (it was written "
+            "by the API, not the CLI); pass --program module:callable"
+        )
+    payload = meta.get("config")
+    if not isinstance(payload, dict):
+        raise SystemExit(
+            "this journal's config is not serializable (policy instance?); "
+            "resume in-process via repro.dist.distributed_verify(journal=...)"
+        )
+    d = dict(payload)
+    cm = d.pop("cost_model", None)
+    # the recorded plan already fired — a resume must not re-inject it
+    d["fault_plan"] = args.fault_plan
+    try:
+        config = DampiConfig(
+            **d, **({"cost_model": CostModel(**cm)} if cm else {})
+        )
+    except TypeError as e:
+        raise SystemExit(
+            f"journal config does not match this version's DampiConfig: {e}"
+        ) from e
+    kwargs = meta.get("kwargs")
+    if not isinstance(kwargs, dict):
+        raise SystemExit(
+            f"this journal's program kwargs are not serializable "
+            f"({kwargs!r}); resume in-process instead"
+        )
+    workers = args.workers or (meta.get("dist") or {}).get("workers") or 2
+    report = distributed_verify(
+        resolve_program(spec),
+        meta["nprocs"],
+        config=config,
+        workers=workers,
+        journal=journal,
+        kwargs=kwargs,
+    )
+    return _print_dist_report(args, report)
+
+
+def cmd_dist_status(args) -> int:
+    from repro.dist import journal_status
+
+    st = journal_status(args.journal_dir)
+    if st["mode"] != "dist":
+        print(f"{st['dir']}: a {st['mode']!r} journal, not a distributed one")
+        return 1
+    state = "complete" if st["complete"] else "in progress"
+    print(f"distributed campaign journal {st['dir']} ({state})")
+    print(f"  self run recorded : {st['self_run']}")
+    print(
+        f"  leases            : {st['leases']} "
+        f"({st['leases_done']} done, {st['leases_open']} open)"
+    )
+    print(f"  run records       : {st['records']}")
+    return 0
+
+
 def cmd_replay(args) -> int:
     program = resolve_program(args.program)
     kwargs = json.loads(args.kwargs)
@@ -498,6 +732,13 @@ def main(argv=None) -> int:
             return cmd_escalate(args)
         if args.command == "resume":
             return cmd_resume(args)
+        if args.command == "dist":
+            if args.dist_command == "run":
+                return cmd_dist_run(args)
+            if args.dist_command == "resume":
+                return cmd_dist_resume(args)
+            if args.dist_command == "status":
+                return cmd_dist_status(args)
         if args.command == "replay":
             return cmd_replay(args)
     except BrokenPipeError:

@@ -151,6 +151,15 @@ class DampiConfig:
     journal_checkpoint_interval: int = 16
     journal_segment_bytes: int = 4 * 1024 * 1024
     journal_fsync: bool = True
+    #: distributed mode (repro.dist): how often each worker sends a
+    #: heartbeat/progress frame to the coordinator.  Execution knob —
+    #: not part of the semantic config signature.
+    dist_heartbeat_seconds: float = 0.5
+    #: distributed mode: a lease whose worker shows no progress (no
+    #: record, donation, or run-count advance) for this long is declared
+    #: lost — the worker is terminated and the lease re-issued.  Must
+    #: comfortably exceed the cost of one replay.
+    dist_lease_timeout_seconds: float = 30.0
 
     _CLOCK_IMPLS = ("lamport", "vector", "lamport_dual", "vector_dual")
 
@@ -186,3 +195,7 @@ class DampiConfig:
             raise ValueError("journal_checkpoint_interval must be >= 1")
         if self.journal_segment_bytes < 4096:
             raise ValueError("journal_segment_bytes must be >= 4096")
+        if self.dist_heartbeat_seconds <= 0:
+            raise ValueError("dist_heartbeat_seconds must be > 0")
+        if self.dist_lease_timeout_seconds <= 0:
+            raise ValueError("dist_lease_timeout_seconds must be > 0")

@@ -57,6 +57,13 @@ class DecisionNode:
     #: frozen nodes keep their self-run match forever (loop abstraction /
     #: bounded-mixing window exhausted / never-completed receive)
     frozen: bool = False
+    #: pinned nodes belong to another shard of a distributed campaign:
+    #: the local walk never flips them (like frozen), but — unlike frozen
+    #: — they still accumulate newly discovered alternatives, which are
+    #: reported upstream via :meth:`ScheduleGenerator
+    #: .take_pinned_discoveries` so the coordinator can lease the sibling
+    #: subtrees to someone else
+    pinned: bool = False
 
     @property
     def untried(self) -> set[int]:
@@ -64,6 +71,7 @@ class DecisionNode:
 
     def __repr__(self) -> str:
         tag = " frozen" if self.frozen else ""
+        tag += " pinned" if self.pinned else ""
         return (
             f"Node({self.key}, chosen={self.chosen}, tried={sorted(self.tried)}, "
             f"alts={sorted(self.alternatives)}{tag})"
@@ -110,6 +118,166 @@ class ScheduleGenerator:
             raise RuntimeError("generator already seeded")
         self._seeded = True
         self.path = self._nodes_from_epochs(trace, trace.all_epochs(), distance_from=None)
+
+    def seed_prefix(
+        self,
+        prefix: list,
+        flip_key,
+        flip_order,
+        alt: int,
+        covered=(),
+    ) -> EpochDecisions:
+        """Seed the generator for one *leased subtree* of a distributed
+        campaign instead of from a self run (paper's distributed walk:
+        each node of the cluster owns a disjoint region of the decision
+        tree).
+
+        ``prefix`` is the master path shallower than the subtree root, as
+        ``(key, order, chosen, frozen)`` tuples; the subtree root is the
+        node ``flip_key`` flipped to source ``alt``.  Every seeded node
+        is *pinned*: the local walk explores only the fresh nodes its
+        replays discover below the root, exactly the portion of the
+        serial DFS that lives inside this subtree, while alternatives
+        discovered at pinned nodes are surfaced through
+        :meth:`take_pinned_discoveries` for the coordinator to lease out.
+
+        ``covered`` lists the root node's sources the *master* walk
+        already accounts for (its own chosen value — e.g. the self-run
+        match — plus every sibling alternative leased elsewhere).  They
+        are pre-marked tried so the subtree neither explores them nor
+        re-reports them as discoveries: without this, every lease would
+        "discover" the self-run source at its root and the coordinator
+        would lease an already-covered subtree.
+
+        Returns the root schedule (the same ``EpochDecisions`` the serial
+        walk would emit when it flips this node under this prefix); the
+        caller executes it and feeds the trace to :meth:`integrate` as
+        with any other pending flip.
+        """
+        if self._seeded:
+            raise RuntimeError("generator already seeded")
+        self._seeded = True
+        path = []
+        for row in prefix:
+            key, order, chosen, frozen = row[:4]
+            row_covered = set(row[4]) if len(row) > 4 else set()
+            path.append(
+                DecisionNode(
+                    key=tuple(key),
+                    order=tuple(order),
+                    chosen=chosen,
+                    tried={chosen} | row_covered,
+                    alternatives={chosen} | row_covered,
+                    frozen=bool(frozen),
+                    pinned=True,
+                )
+            )
+        root = DecisionNode(
+            key=tuple(flip_key),
+            order=tuple(flip_order),
+            chosen=alt,
+            tried={alt} | set(covered),
+            alternatives={alt} | set(covered),
+            pinned=True,
+        )
+        path.append(root)
+        self.path = path
+        self._flip_index = len(path) - 1
+        self._flip_prev = alt
+        forced = {n.key: n.chosen for n in path if n.chosen >= 0}
+        return EpochDecisions(forced=forced, flip=root.key)
+
+    def take_pinned_discoveries(self) -> list[tuple[int, list[int]]]:
+        """Alternatives that replays discovered at pinned nodes — work
+        that belongs to *other* shards.  Returns ``(path_index, sources)``
+        pairs and marks the sources tried locally, so each discovery is
+        reported upstream exactly once."""
+        out: list[tuple[int, list[int]]] = []
+        for i, node in enumerate(self.path):
+            if node.pinned and not node.frozen:
+                new = node.untried
+                if new:
+                    out.append((i, sorted(new)))
+                    node.tried |= new
+        return out
+
+    def prefix_rows(self, upto: int) -> list:
+        """The path shallower than ``upto`` as JSON-able lease-spec rows:
+        ``[key, order, chosen, frozen, covered]``, where ``covered`` is
+        every source this walk accounts for at the node — a subtree
+        seeded from these rows must treat them all as tried (see
+        :meth:`seed_prefix`)."""
+        return [
+            [
+                list(m.key),
+                list(m.order),
+                m.chosen,
+                m.frozen,
+                sorted(m.tried | m.alternatives),
+            ]
+            for m in self.path[:upto]
+        ]
+
+    def take_subtree_leases(self) -> list[dict]:
+        """Claim the open frontier as independently explorable subtree
+        roots, deepest first — the prefix partition a distributed
+        coordinator leases to workers.  Each lease is a JSON-able spec:
+        the path prefix (``(key, order, chosen, frozen)`` rows), the
+        flipped node, the alternative source forced at it, and the
+        ``covered`` sources the master side accounts for at that node
+        (see :meth:`seed_prefix`).  Every enumerated alternative is
+        marked tried, so the local walk will not also explore it."""
+        out: list[dict] = []
+        for i in range(len(self.path) - 1, -1, -1):
+            node = self.path[i]
+            if node.frozen or node.pinned or not node.untried:
+                continue
+            prefix = self.prefix_rows(i)
+            covered = sorted(node.tried | node.alternatives)
+            for alt in sorted(node.untried):
+                out.append(
+                    {
+                        "prefix": prefix,
+                        "flip_key": list(node.key),
+                        "flip_order": list(node.order),
+                        "alt": alt,
+                        "covered": covered,
+                    }
+                )
+            node.tried |= node.alternatives
+        return out
+
+    def split_deepest(self) -> list[dict]:
+        """Donate roughly half of the deepest open node's untried
+        alternatives to a work-stealing sibling.  The victim keeps at
+        least one alternative of its total frontier (never donates itself
+        idle); donated sources are marked tried locally and returned as
+        lease specs (see :meth:`take_subtree_leases`).  Returns ``[]``
+        when there is nothing worth splitting."""
+        open_nodes = [
+            (i, n)
+            for i, n in enumerate(self.path)
+            if not (n.frozen or n.pinned) and n.untried
+        ]
+        total = sum(len(n.untried) for _, n in open_nodes)
+        if total < 2:
+            return []
+        i, node = open_nodes[-1]
+        alts = sorted(node.untried)
+        donated = alts[len(alts) // 2 :] if len(alts) > 1 else alts
+        node.tried |= set(donated)
+        prefix = self.prefix_rows(i)
+        covered = sorted(node.tried | node.alternatives)
+        return [
+            {
+                "prefix": prefix,
+                "flip_key": list(node.key),
+                "flip_order": list(node.order),
+                "alt": alt,
+                "covered": covered,
+            }
+            for alt in donated
+        ]
 
     def _auto_frozen_keys(self, trace: RunTrace) -> set:
         """Loop-pattern detection: keys of epochs beyond the threshold in a
@@ -167,7 +335,7 @@ class ScheduleGenerator:
         configured bounds) is exhausted."""
         for i in range(len(self.path) - 1, -1, -1):
             node = self.path[i]
-            if node.frozen or not node.untried:
+            if node.frozen or node.pinned or not node.untried:
                 continue
             alt = min(node.untried)  # deterministic exploration order
             node.tried.add(alt)
@@ -204,7 +372,7 @@ class ScheduleGenerator:
         out: list[EpochDecisions] = []
         for i in range(len(self.path) - 1, -1, -1):
             node = self.path[i]
-            if node.frozen or not node.untried:
+            if node.frozen or node.pinned or not node.untried:
                 continue
             base = {n.key: n.chosen for n in self.path[:i] if n.chosen >= 0}
             for alt in sorted(node.untried):
@@ -265,12 +433,14 @@ class ScheduleGenerator:
 
     @property
     def exhausted(self) -> bool:
-        return all(n.frozen or not n.untried for n in self.path)
+        return all(n.frozen or n.pinned or not n.untried for n in self.path)
 
     def stats(self) -> dict:
         return {
             "path_length": len(self.path),
             "frozen_nodes": sum(1 for n in self.path if n.frozen),
-            "open_alternatives": sum(len(n.untried) for n in self.path if not n.frozen),
+            "open_alternatives": sum(
+                len(n.untried) for n in self.path if not (n.frozen or n.pinned)
+            ),
             "divergences": self.divergences,
         }

@@ -19,6 +19,10 @@ Plan syntax — comma-separated ``action@site[:selector][:param]`` terms::
     raise@run:4                 raise FaultInjected before replay 4
     kill@stage:k1               die at the k=1 escalation stage boundary
     kill@cell:3.quick-k0        die at the np=3/quick-k0 campaign cell
+    kill@worker:2               die in distributed worker 2, first replay
+    kill@worker:2.5             ... just before its 5th replay
+    kill@coord:3                die in the coordinator before it journals
+                                the 3rd streamed record
 
 Actions
 -------
@@ -54,6 +58,17 @@ Sites
 ``cell:<nprocs>.<config_name>``
     In :func:`~repro.dampi.campaign.run_campaign`, before that cell runs
     (inside the cell worker when the sweep is pooled).
+``worker:<id>[.<seq>]``
+    In a distributed worker process (:mod:`repro.dist.worker`), before it
+    consumes its ``seq``-th replay (1-based across its whole lifetime);
+    without ``seq``, its first.  The plan travels in the config, so every
+    worker carries its own copy and a kill takes down exactly worker
+    ``id`` — the coordinator's lease-expiry/re-issue path under test.
+``coord:<n>``
+    In the distributed coordinator (:mod:`repro.dist.coordinator`),
+    before it journals the ``n``-th record streamed back by workers
+    (1-based) — a coordinator death mid-campaign, the crash
+    ``repro dist resume`` exists to survive.
 
 Each fault fires **once per process**: a plan object tracks which of its
 faults already fired, and worker processes carry their own plan copy —
@@ -75,7 +90,7 @@ FAULT_EXIT_CODE = 43
 DEFAULT_HANG_SECONDS = 3600.0
 
 _ACTIONS = ("kill", "hang", "delay", "raise")
-_SITES = ("self", "run", "flip", "stage", "cell")
+_SITES = ("self", "run", "flip", "stage", "cell", "worker", "coord")
 
 
 class FaultPlanError(ValueError):
@@ -158,6 +173,23 @@ def _parse_term(term: str) -> Fault:
                     f"fault term {term!r}: cell selector is nprocs.config_name"
                 )
             selector = (int(nprocs), name)
+        elif site == "worker":
+            if not fields:
+                raise FaultPlanError(
+                    f"fault term {term!r}: worker needs an id (id[.seq])"
+                )
+            bits = fields.pop(0).split(".")
+            if len(bits) not in (1, 2):
+                raise FaultPlanError(
+                    f"fault term {term!r}: worker selector is id[.seq]"
+                )
+            selector = tuple(int(b) for b in bits)
+        elif site == "coord":
+            if not fields:
+                raise FaultPlanError(
+                    f"fault term {term!r}: coord needs a record count"
+                )
+            selector = (int(fields.pop(0)),)
         if fields:
             param = float(fields.pop(0))
     except FaultPlanError:

@@ -242,6 +242,7 @@ def snapshot_generator(gen: ScheduleGenerator) -> dict:
                 "tried": sorted(n.tried),
                 "alternatives": sorted(n.alternatives),
                 "frozen": n.frozen,
+                "pinned": n.pinned,
             }
             for n in gen.path
         ],
@@ -265,6 +266,7 @@ def restore_generator(snap: dict) -> ScheduleGenerator:
             tried=set(n["tried"]),
             alternatives=set(n["alternatives"]),
             frozen=n["frozen"],
+            pinned=n.get("pinned", False),
         )
         for n in snap["path"]
     ]
@@ -283,12 +285,30 @@ def _jsonable_or_repr(value):
 
 
 def config_signature(
-    nprocs: int, config, kwargs: Optional[dict] = None, prog_args: tuple = ()
+    nprocs: int,
+    config,
+    kwargs: Optional[dict] = None,
+    prog_args: tuple = (),
+    mode: str = "campaign",
+    shard_prefix=None,
 ) -> dict:
     """The semantic identity of a verification: resuming a journal under a
     different signature would silently mix two different searches.
-    Program arguments are part of it — they change what executes."""
-    sig = {"nprocs": nprocs}
+    Program arguments are part of it — they change what executes.
+
+    ``mode`` distinguishes the three journal kinds a distributed campaign
+    produces: ``"campaign"`` (a whole serial verification), ``"dist"``
+    (a coordinator journal holding leases and streamed records), and
+    ``"shard"`` (one worker's journal of one leased subtree, whose
+    ``shard_prefix`` — the forced prefix it was leased — is part of the
+    identity).  A journal of one mode can never be resumed as another:
+    a shard covers one subtree, not the tree.
+    """
+    # NB: "journal_mode", not "mode" — DampiConfig has a semantic field
+    # named ``mode`` (run_to_block/...) that also lands in this dict
+    sig = {"nprocs": nprocs, "journal_mode": mode}
+    if shard_prefix is not None:
+        sig["shard_prefix"] = _jsonable_or_repr(shard_prefix)
     for name in SEMANTIC_CONFIG_FIELDS:
         value = getattr(config, name, None)
         if name == "policy" and not isinstance(value, str):
@@ -418,21 +438,37 @@ class CampaignJournal:
         config,
         kwargs: Optional[dict] = None,
         prog_args: tuple = (),
+        mode: str = "campaign",
+        shard_prefix=None,
+        extra: Optional[dict] = None,
     ) -> None:
         """First call of a fresh journal writes the meta record; on a
         journal with history, validate that the semantics match."""
-        sig = config_signature(nprocs, config, kwargs=kwargs, prog_args=prog_args)
+        sig = config_signature(
+            nprocs,
+            config,
+            kwargs=kwargs,
+            prog_args=prog_args,
+            mode=mode,
+            shard_prefix=shard_prefix,
+        )
         if self.meta is not None:
             if self.meta.get("version") != JOURNAL_VERSION:
                 raise JournalError(
                     f"journal {self.root} has version "
                     f"{self.meta.get('version')!r}, expected {JOURNAL_VERSION}"
                 )
-            if self.meta.get("signature") != sig:
+            old = dict(self.meta.get("signature") or {})
+            # journals written before the distributed subsystem carry no
+            # mode field; they are whole-campaign journals
+            old.setdefault("journal_mode", "campaign")
+            if old.get("journal_mode") != mode:
+                raise JournalError(self._mode_mismatch_message(old, mode))
+            if old != sig:
                 raise JournalError(
                     f"journal {self.root} was recorded under different "
                     f"verification semantics; refusing to resume "
-                    f"(journal: {self.meta.get('signature')!r}, now: {sig!r})"
+                    f"(journal: {old!r}, now: {sig!r})"
                 )
             return
         self.meta = {
@@ -444,7 +480,35 @@ class CampaignJournal:
             "kwargs": _jsonable_or_repr(dict(kwargs) if kwargs else {}),
             "program": self.program_label,
         }
+        if extra:
+            self.meta.update(extra)
         self.append(self.meta)
+
+    def _mode_mismatch_message(self, old_sig: dict, wanted_mode: str) -> str:
+        have = old_sig.get("journal_mode", "campaign")
+        what = {
+            "shard": (
+                "a worker *shard* journal of a distributed campaign — it "
+                "records one leased subtree (forced prefix "
+                f"{old_sig.get('shard_prefix')!r}), not the whole decision "
+                "tree, so resuming it as a campaign would silently re-walk "
+                "everything outside the shard.  Resume the campaign's "
+                "coordinator journal with 'repro dist resume' instead"
+            ),
+            "dist": (
+                "a distributed *coordinator* journal (leases and streamed "
+                "worker records, not a serial run history).  Use "
+                "'repro dist resume' on it"
+            ),
+            "campaign": (
+                "a whole-campaign journal from a serial verification.  Use "
+                "'repro resume' on it"
+            ),
+        }[have]
+        return (
+            f"journal {self.root} is {what}; refusing to open it as a "
+            f"{wanted_mode!r} journal"
+        )
 
     # -- writing ---------------------------------------------------------------
 

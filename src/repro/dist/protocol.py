@@ -1,0 +1,225 @@
+"""Wire protocol of the distributed verifier.
+
+Transport: newline-delimited JSON frames over a TCP stream.  Workers are
+spawned locally today, but they connect over a socket (not a pipe)
+precisely so the protocol stays host-agnostic — pointing a worker at a
+remote coordinator address is a deployment change, not a protocol one.
+
+Frames, by direction (``t`` is the discriminator):
+
+worker → coordinator
+    ``hello``       first frame: ``worker`` id, ``pid``.
+    ``hb``          heartbeat/progress: total ``runs`` consumed, ``open``
+                    alternatives and path ``depth`` of the current
+                    subtree, the active ``lease`` id.
+    ``need_lease``  the worker is idle and wants work.
+    ``record``      one completed run of the active lease: the full run
+                    *entry* (below).
+    ``discovered``  candidate leases for alternatives discovered at
+                    pinned prefix nodes — subtrees that belong to other
+                    shards, routed through the coordinator for dedup.
+    ``donate``      response to ``steal``: lease specs split off the
+                    deepest open node of the victim's subtree (may be
+                    empty).
+    ``lease_done``  the active lease's subtree is exhausted.
+    ``bye``         response to ``shutdown``: final ``stats`` and a
+                    metrics snapshot to merge into the report.
+
+coordinator → worker
+    ``lease``       one lease: ``id`` plus the spec
+                    (see :func:`repro.dist.leases.lease_root_decisions`).
+    ``steal``       please split your current subtree and donate half.
+    ``shutdown``    no work remains; send ``bye`` and exit.
+
+Run entries
+-----------
+A *record* carries everything the coordinator needs to (a) replay the
+run's effect on a schedule generator (the full trace) and (b) rebuild a
+duck-typed :class:`~repro.mpi.runtime.RunResult` for report assembly.
+Error dedup and ``error_kinds`` are **global-order-dependent** (the
+serial loop appends an error only the first time its key is seen), so
+entries ship raw facts — the deadlock's blocked map, the primary errors
+as ``(rank, type-name, message)`` rows, the leak report — and the
+coordinator recomputes dedup during its deterministic assembly walk,
+rather than trusting any worker-local ordering.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dampi.decisions import EpochDecisions
+from repro.errors import DeadlockError
+
+
+class DistError(RuntimeError):
+    """A distributed campaign that cannot proceed (protocol violation,
+    coverage hole, lost coordinator)."""
+
+
+# -- frame transport -----------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: dict, lock=None) -> None:
+    """One frame: compact JSON + newline, a single ``sendall``."""
+    data = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def start_reader(sock: socket.socket, tag, events) -> threading.Thread:
+    """Pump frames from ``sock`` into the ``events`` queue as
+    ``(tag, payload)`` pairs; EOF or any socket error enqueues
+    ``(tag, None)`` exactly once and ends the thread."""
+
+    def pump():
+        try:
+            with sock.makefile("rb") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    try:
+                        events.put((tag, json.loads(line)))
+                    except ValueError:
+                        break  # torn frame: treat like EOF
+        except OSError:
+            pass
+        events.put((tag, None))
+
+    thread = threading.Thread(target=pump, name=f"dist-reader-{tag}", daemon=True)
+    thread.start()
+    return thread
+
+
+# -- run entries ---------------------------------------------------------------
+
+
+def run_entry(
+    decisions: Optional[EpochDecisions],
+    result,
+    trace,
+    include_monitor: bool = False,
+) -> dict:
+    """Serialize one executed run into a record entry (see module doc).
+    ``include_monitor`` is for the coordinator's self entry — only run 0
+    feeds the report's monitor block."""
+    from repro.dampi import journal as jr
+
+    pb = result.artifacts.get("piggyback")
+    entry = {
+        "key": (
+            jr.decisions_to_jsonable(decisions) if decisions is not None else None
+        ),
+        "trace": jr.trace_to_jsonable(trace),
+        "makespan": result.makespan,
+        "stats": dict(result.stats or {}),
+        "pb": dict(pb) if pb else None,
+        "leaks": jr.leaks_to_jsonable(result.artifacts.get("leaks")),
+        "deadlock": (
+            [[r, op] for r, op in sorted(result.deadlock.blocked.items())]
+            if result.deadlocked
+            else None
+        ),
+        # primary_errors iterates rank-sorted; preserve that order so the
+        # assembly's dedup walk sees errors exactly as the serial loop
+        # would.  DeadlockError rows are omitted (the serial recorder
+        # skips them; the deadlock travels in its own field).
+        "errors": [
+            [rank, type(exc).__name__, str(exc)]
+            for rank, exc in result.primary_errors.items()
+            if not isinstance(exc, DeadlockError)
+        ],
+    }
+    if include_monitor:
+        entry["monitor"] = jr.monitor_to_jsonable(result.artifacts.get("monitor"))
+    return entry
+
+
+def entry_schedule_key(entry: dict):
+    """The canonical schedule identity of an entry (hashable)."""
+    from repro.dampi import journal as jr
+    from repro.dampi.parallel import schedule_key
+
+    if entry.get("key") is None:
+        return None
+    return schedule_key(jr.decisions_from_jsonable(entry["key"]))
+
+
+def decisions_key_str(decisions: EpochDecisions) -> str:
+    """Canonical string form of a schedule key — the shard journals' memo
+    index (JSON-able, deterministic: the forced map is emitted sorted)."""
+    from repro.dampi import journal as jr
+
+    return json.dumps(jr.decisions_to_jsonable(decisions), separators=(",", ":"))
+
+
+#: dynamically rebuilt exception classes for remote crash rows, cached so
+#: equal type names compare equal across entries
+_EXC_CACHE: dict[str, type] = {}
+
+
+def _remote_exception(type_name: str, message: str) -> Exception:
+    cls = _EXC_CACHE.get(type_name)
+    if cls is None:
+        cls = _EXC_CACHE[type_name] = type(
+            type_name, (Exception,), {"__module__": "repro.dist.remote"}
+        )
+    return cls(message)
+
+
+@dataclass
+class ShardResult:
+    """Duck-typed :class:`~repro.mpi.runtime.RunResult` rebuilt from a
+    record entry — exactly the fields report assembly
+    (:meth:`DampiVerifier._record_run`) and telemetry
+    (:meth:`CampaignTelemetry.record_run`) read."""
+
+    makespan: float = 0.0
+    stats: dict = field(default_factory=dict)
+    artifacts: dict = field(default_factory=dict)
+    deadlock: Optional[DeadlockError] = None
+    primary_errors: dict = field(default_factory=dict)
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.deadlock is not None
+
+
+def result_from_entry(entry: dict) -> ShardResult:
+    """Rebuild the duck-typed result from a record entry.  The rebuilt
+    pieces reproduce the serial report byte-for-byte: ``DeadlockError``
+    reconstructs from its blocked map (its message is derived from it),
+    and crash rows rebuild as dynamic exception types whose ``__name__``
+    and ``str()`` match the originals — the two things the error-dedup
+    keys and detail strings are made of."""
+    from repro.dampi import journal as jr
+
+    artifacts: dict = {}
+    if entry.get("pb"):
+        artifacts["piggyback"] = dict(entry["pb"])
+    leaks = jr.leaks_from_jsonable(entry.get("leaks"))
+    if leaks is not None:
+        artifacts["leaks"] = leaks
+    if entry.get("monitor") is not None:
+        artifacts["monitor"] = jr.monitor_from_jsonable(entry["monitor"])
+    deadlock = None
+    if entry.get("deadlock") is not None:
+        deadlock = DeadlockError({int(r): op for r, op in entry["deadlock"]})
+    primary = {
+        int(rank): _remote_exception(name, msg)
+        for rank, name, msg in entry.get("errors") or ()
+    }
+    return ShardResult(
+        makespan=entry["makespan"],
+        stats=dict(entry.get("stats") or {}),
+        artifacts=artifacts,
+        deadlock=deadlock,
+        primary_errors=primary,
+    )

@@ -23,7 +23,7 @@ from typing import Dict, Sequence, Tuple
 #: faults) rather than the verified execution.  Everything else must be
 #: jobs-invariant — and invariant across journal resumes.
 NONDETERMINISTIC_PREFIXES: Tuple[str, ...] = (
-    "exec.", "wall.", "journal.", "fault.",
+    "exec.", "wall.", "journal.", "fault.", "dist.",
 )
 
 

@@ -7,13 +7,21 @@ One throttled stderr line per interval::
 The reporter only formats and writes when the interval has elapsed
 (checked against an injectable monotonic clock so tests don't sleep), so
 an aggressive caller can invoke :meth:`tick` every loop iteration.
+
+Distributed campaigns have *many* producers — every worker streams its
+own progress frames to the coordinator — but interleaving N raw lines
+on one terminal is noise.  :meth:`ProgressReporter.merge_tick` is the
+aggregation path: the coordinator folds the latest frame per worker into
+one line (total runs and throughput, lease queue state, per-worker lag)::
+
+    [dampi dist] workers 3 | runs 57 (12.3/s) | leases 2 active / 4 pending | lag w1 0.1s w2 0.2s w3 2.9s | 8.2s elapsed
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -60,6 +68,47 @@ class ProgressReporter:
         if eta_seconds is not None:
             parts.append(f"eta ~{_fmt_seconds(eta_seconds)}")
         self._write("[dampi] " + " | ".join(parts))
+        self.lines_written += 1
+        return True
+
+    def merge_tick(
+        self,
+        frames: Sequence[dict],
+        active_leases: int,
+        pending_leases: int,
+        force: bool = False,
+    ) -> bool:
+        """One aggregated heartbeat from many producers.
+
+        ``frames`` is the coordinator's latest progress frame per worker:
+        dicts with ``worker`` (id), ``runs`` (replays consumed so far),
+        and ``seen`` (the coordinator-clock timestamp of the worker's
+        last message, for the lag column).  Throughput is computed from
+        the delta in total runs between emitted lines, so it reflects the
+        whole fleet, not any single worker."""
+        now = self._clock()
+        if not force and now - self._last < self.interval:
+            return False
+        self._last = now
+        total = sum(int(f.get("runs") or 0) for f in frames)
+        prev_total, prev_at = getattr(self, "_merge_prev", (0, self._t0))
+        dt = now - prev_at
+        rate = (total - prev_total) / dt if dt > 0 else 0.0
+        self._merge_prev = (total, now)
+        lags = " ".join(
+            f"w{f.get('worker')} {max(0.0, now - f['seen']):.1f}s"
+            for f in sorted(frames, key=lambda f: f.get("worker") or 0)
+            if f.get("seen") is not None
+        )
+        parts = [
+            f"workers {len(frames)}",
+            f"runs {total} ({rate:.1f}/s)",
+            f"leases {active_leases} active / {pending_leases} pending",
+        ]
+        if lags:
+            parts.append(f"lag {lags}")
+        parts.append(f"{_fmt_seconds(now - self._t0)} elapsed")
+        self._write("[dampi dist] " + " | ".join(parts))
         self.lines_written += 1
         return True
 

@@ -49,6 +49,10 @@ class TestPlanGrammar:
             ("kill@stage:k1", "kill", "stage", ("k1",), None),
             ("kill@stage:unbounded", "kill", "stage", ("unbounded",), None),
             ("kill@cell:3.quick-k0", "kill", "cell", (3, "quick-k0"), None),
+            ("kill@worker:2", "kill", "worker", (2,), None),
+            ("kill@worker:2.5", "kill", "worker", (2, 5), None),
+            ("hang@worker:1.3:60", "hang", "worker", (1, 3), 60.0),
+            ("kill@coord:3", "kill", "coord", (3,), None),
         ],
     )
     def test_valid_terms(self, term, action, site, selector, param):
@@ -70,6 +74,11 @@ class TestPlanGrammar:
             "kill@stage",            # stage needs a label
             "kill@cell:3",           # cell needs nprocs.name
             "kill@run:1:2:3",        # trailing fields
+            "kill@worker",           # worker needs an id
+            "kill@worker:x",         # non-integer id
+            "kill@worker:1.2.3",     # too many worker fields
+            "kill@coord",            # coord needs a record index
+            "kill@coord:x",          # non-integer index
         ],
     )
     def test_bad_terms_rejected(self, term):

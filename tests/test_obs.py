@@ -234,6 +234,65 @@ class TestProgress:
         assert "done: 3 runs, 1 error(s)" in lines[-1]
 
 
+class TestMergeTick:
+    """Satellite: a distributed campaign emits ONE aggregated heartbeat
+    line for the whole fleet, not one line per worker."""
+
+    def _reporter(self):
+        clk = FakeClock()
+        lines = []
+
+        class Sink:
+            def write(self, s):
+                lines.append(s)
+
+        return ProgressReporter(1.0, stream=Sink(), clock=clk), clk, lines
+
+    def test_one_line_aggregates_the_fleet(self):
+        p, clk, lines = self._reporter()
+        clk.advance(5.0)
+        frames = [
+            {"worker": 2, "runs": 7, "seen": 4.5},
+            {"worker": 1, "runs": 3, "seen": 5.0},
+        ]
+        assert p.merge_tick(frames, active_leases=2, pending_leases=4)
+        assert len(lines) == 1
+        line = lines[0]
+        assert "workers 2" in line
+        assert "runs 10" in line  # summed across the fleet
+        assert "leases 2 active / 4 pending" in line
+        # lag column is per worker, id-sorted
+        assert "w1 0.0s" in line and "w2 0.5s" in line
+
+    def test_throttles_like_tick(self):
+        p, clk, lines = self._reporter()
+        frames = [{"worker": 1, "runs": 1, "seen": 0.0}]
+        assert p.merge_tick(frames, 1, 0)
+        assert not p.merge_tick(frames, 1, 0)  # inside the interval
+        clk.advance(1.1)
+        assert p.merge_tick(frames, 1, 0)
+        assert p.lines_written == 2
+
+    def test_rate_reflects_fleet_run_delta(self):
+        p, clk, lines = self._reporter()
+        p.merge_tick([{"worker": 1, "runs": 0, "seen": 0.0}], 1, 0)
+        clk.advance(2.0)
+        p.merge_tick(
+            [
+                {"worker": 1, "runs": 5, "seen": 2.0},
+                {"worker": 2, "runs": 5, "seen": 2.0},
+            ],
+            2,
+            0,
+        )
+        assert "runs 10 (5.0/s)" in lines[-1]  # 10 runs over 2 seconds
+
+    def test_workers_without_seen_skip_lag_column(self):
+        p, clk, lines = self._reporter()
+        p.merge_tick([{"worker": 1, "runs": 0}], 1, 0)
+        assert "lag" not in lines[-1]
+
+
 class TestVerifierIntegration:
     def _verify(self, **cfg):
         v = DampiVerifier(
