@@ -10,8 +10,13 @@ construction/reset, rank dispatch, program execution, and trace collection
 Legs
 ----
 ``after``
-    The current tree: persistent rank-executor session (threads + compiled
-    tool chains reused across replays) and indexed matching.
+    The current tree with its defaults: persistent rank-executor session,
+    indexed matching, and prefix checkpoints (sibling schedules restore a
+    snapshot at the flipped decision point instead of re-executing from
+    ``MPI_Init``).
+``after_no_checkpoint``
+    The current tree with ``prefix_checkpoints=False`` — isolates what the
+    checkpoint/restore path buys (or costs) on top of everything else.
 ``before``
     The pre-overhaul baseline (:data:`BASELINE_REF` — the PR 1 tip, which
     spawned ``nprocs`` OS threads and rebuilt every module per replay and
@@ -24,16 +29,20 @@ Legs
     micro-optimisations shared by both configurations, so its ratio is a
     lower bound.
 
-Methodology: legs are interleaved (before/after alternating) so drifting
-host load hits both distributions, and each leg's p50 is the best (minimum)
-across repetitions — the robust statistic under CI-grade jitter.  Runs are
-measured in fresh subprocesses for both legs so interpreter state is
-equalised.
+Methodology: legs are interleaved (before/after/no-checkpoint cycling) so
+drifting host load hits every distribution, and each leg's p50 is the best
+(minimum) across repetitions — the robust statistic under CI-grade jitter.
+Runs are measured in fresh subprocesses for all legs so interpreter state
+is equalised.
 
-Phase breakdown (current tree only; the baseline predates phase
-instrumentation): ``spawn_reset`` (uid resets, module setup, thread
+Phase breakdown: ``spawn_reset`` (uid resets, module setup, thread
 dispatch), ``execute`` (rank mains), ``trace_integrate`` (module ``finish``
-— trace/artifact collection).
+— trace/artifact collection), and ``restore`` (snapshot thaw + install on
+checkpoint-restored runs; null elsewhere).  Trees that predate the phase
+instrumentation (the PR 1 baseline) get an equivalent breakdown derived
+from timing the rank-main span inside the same driver: ``spawn_reset`` is
+run start to the first rank main, ``execute`` is first rank-main start to
+last rank-main end, ``finish`` is last rank-main end to run end.
 
 Artifacts: ``benchmarks/results/replay_latency.txt`` and
 ``BENCH_replay_latency.json`` (canonical schema, see
@@ -76,28 +85,53 @@ PROGRAMS = [
 #: Driver run in a subprocess against either tree.  Wraps ``run_once`` so
 #: every execution the verification performs — self run and guided replays
 #: — contributes one wall sample.  ``REPLAY_LATENCY_ABLATE=1`` selects the
-#: ablation baseline on trees whose config supports it.
+#: ablation baseline, ``REPLAY_LATENCY_NO_CKPT=1`` disables prefix
+#: checkpoints, on trees whose config supports those knobs.
 _DRIVER = r"""
 import dataclasses, json, os, statistics, sys, time, importlib
 mod, fn = sys.argv[1].rsplit(":", 1)
 nprocs = int(sys.argv[2]); kw = json.loads(sys.argv[3])
 from repro.dampi.config import DampiConfig
 from repro.dampi.verifier import DampiVerifier
+from repro.mpi.runtime import Runtime
 program = getattr(importlib.import_module(mod), fn)
+fields = {f.name for f in dataclasses.fields(DampiConfig)}
 cfg_kwargs = {"bound_k": 0}
 if os.environ.get("REPLAY_LATENCY_ABLATE") == "1":
-    fields = {f.name for f in dataclasses.fields(DampiConfig)}
     for name in ("persistent_session", "indexed_matching"):
         if name in fields:
             cfg_kwargs[name] = False
+if os.environ.get("REPLAY_LATENCY_NO_CKPT") == "1" and "prefix_checkpoints" in fields:
+    cfg_kwargs["prefix_checkpoints"] = False
+# rank-main span timing: phase fallback for trees without result.phases
+spans = []
+_orig_rank_main = Runtime._rank_main
+def _timed_rank_main(self, rank):
+    t0 = time.perf_counter()
+    try:
+        return _orig_rank_main(self, rank)
+    finally:
+        spans.append((t0, time.perf_counter()))
+Runtime._rank_main = _timed_rank_main
 v = DampiVerifier(program, nprocs, DampiConfig(**cfg_kwargs), kwargs=kw)
 walls, phases = [], []
 orig = v.run_once
 def timed(decisions=None):
+    del spans[:]
     t0 = time.perf_counter()
     res = orig(decisions)
-    walls.append(time.perf_counter() - t0)
-    phases.append(dict(getattr(res[0], "phases", None) or {}))
+    t1 = time.perf_counter()
+    walls.append(t1 - t0)
+    ph = dict(getattr(res[0], "phases", None) or {})
+    if not ph and spans:
+        first = min(s for s, _ in spans)
+        last = max(e for _, e in spans)
+        ph = {
+            "spawn_reset": first - t0,
+            "execute": last - first,
+            "finish": t1 - last,
+        }
+    phases.append(ph)
     return res
 v.run_once = timed
 v.verify()
@@ -107,20 +141,31 @@ out = {
     "p50_ms": 1000 * statistics.median(walls),
     "p95_ms": 1000 * walls[int(0.95 * (len(walls) - 1))],
 }
-for key in ("spawn_reset", "execute", "finish"):
+for key in ("spawn_reset", "execute", "finish", "restore"):
     vals = [ph[key] for ph in phases if key in ph]
     out["phase_%s_p50_ms" % key] = (
         1000 * statistics.median(vals) if vals else None
     )
+ck_fn = getattr(v, "checkpoint_stats", None)
+ck = ck_fn() if ck_fn is not None else None
+if ck and ck.get("enabled"):
+    out["checkpoint"] = {
+        name: ck.get(name)
+        for name in ("hits", "misses", "hit_rate", "entries",
+                     "bytes_held", "restore_ms", "capture_ms")
+    }
 print("REPLAY_LATENCY_JSON:" + json.dumps(out))
 """
 
 
 def _run_driver(src_root: Path, label: str, program: str, nprocs: int,
-                kwargs: dict, ablate: bool = False) -> dict:
+                kwargs: dict, ablate: bool = False,
+                no_checkpoints: bool = False) -> dict:
     env = dict(os.environ, PYTHONPATH=str(src_root))
     if ablate:
         env["REPLAY_LATENCY_ABLATE"] = "1"
+    if no_checkpoints:
+        env["REPLAY_LATENCY_NO_CKPT"] = "1"
     proc = subprocess.run(
         [sys.executable, "-c", _DRIVER, program, str(nprocs), json.dumps(kwargs)],
         capture_output=True, text=True, env=env, timeout=600,
@@ -176,7 +221,7 @@ def run_latency() -> dict:
     with _Baseline() as base:
         data["baseline_mode"] = base.mode
         for label, program, nprocs, kwargs in PROGRAMS:
-            before, after = [], []
+            before, after, no_ckpt = [], [], []
             for _ in range(REPS):  # interleave legs against host-load drift
                 before.append(_run_driver(
                     base.src_root(), f"{label}/before", program, nprocs,
@@ -185,49 +230,82 @@ def run_latency() -> dict:
                 after.append(_run_driver(
                     REPO_ROOT / "src", f"{label}/after", program, nprocs, kwargs,
                 ))
+                no_ckpt.append(_run_driver(
+                    REPO_ROOT / "src", f"{label}/no_checkpoint", program,
+                    nprocs, kwargs, no_checkpoints=True,
+                ))
             best_before = min(before, key=lambda r: r["p50_ms"])
             best_after = min(after, key=lambda r: r["p50_ms"])
+            best_no_ckpt = min(no_ckpt, key=lambda r: r["p50_ms"])
             data["programs"][label] = {
                 "nprocs": nprocs,
                 "kwargs": kwargs,
                 "runs_per_rep": best_after["runs"],
                 "before": best_before,
                 "after": best_after,
+                "after_no_checkpoint": best_no_ckpt,
                 "p50_speedup": best_before["p50_ms"] / best_after["p50_ms"],
+                "checkpoint_speedup": (
+                    best_no_ckpt["p50_ms"] / best_after["p50_ms"]
+                ),
             }
     return data
 
 
 def _report(data: dict) -> list[str]:
     lines = [
-        "Per-replay latency: persistent session + indexed matching vs "
-        f"baseline ({data['baseline_mode']}, reps={data['reps']})",
+        "Per-replay latency: persistent session + indexed matching + "
+        f"prefix checkpoints vs baseline ({data['baseline_mode']}, "
+        f"reps={data['reps']})",
         "",
         f"{'program':>18} | {'runs':>5} | {'before p50':>11} | "
-        f"{'after p50':>10} | {'speedup':>8} | {'after p95':>10}",
+        f"{'after p50':>10} | {'no-ckpt p50':>11} | {'speedup':>8} | "
+        f"{'ckpt x':>7}",
     ]
     for label, row in data["programs"].items():
         lines.append(
             f"{label:>18} | {row['runs_per_rep']:>5} | "
             f"{row['before']['p50_ms']:9.2f}ms | {row['after']['p50_ms']:8.2f}ms | "
-            f"{row['p50_speedup']:7.2f}x | {row['after']['p95_ms']:8.2f}ms"
+            f"{row['after_no_checkpoint']['p50_ms']:9.2f}ms | "
+            f"{row['p50_speedup']:7.2f}x | {row['checkpoint_speedup']:6.2f}x"
         )
     mm = data["programs"].get("matmult")
     if mm is not None:
         ph = mm["after"]
+        restore = ph.get("phase_restore_p50_ms")
         lines += [
             "",
             "matmult after-leg phase p50s: "
             f"spawn_reset={ph['phase_spawn_reset_p50_ms']:.3f}ms "
             f"execute={ph['phase_execute_p50_ms']:.3f}ms "
-            f"trace_integrate={ph['phase_finish_p50_ms']:.3f}ms",
+            f"trace_integrate={ph['phase_finish_p50_ms']:.3f}ms"
+            + (f" restore={restore:.3f}ms" if restore is not None else ""),
         ]
+        bph = mm["before"]
+        if bph.get("phase_execute_p50_ms") is not None:
+            lines.append(
+                "matmult before-leg phase p50s (derived): "
+                f"spawn_reset={bph['phase_spawn_reset_p50_ms']:.3f}ms "
+                f"execute={bph['phase_execute_p50_ms']:.3f}ms "
+                f"trace_integrate={bph['phase_finish_p50_ms']:.3f}ms"
+            )
+        ck = mm["after"].get("checkpoint")
+        if ck:
+            lines.append(
+                f"matmult checkpoint cache: {ck['hits']} hits / "
+                f"{ck['misses']} misses ({ck['hit_rate'] * 100:.0f}% hit), "
+                f"{ck['bytes_held'] / 1024:.0f} KiB held"
+            )
     return lines
 
 
 def _check(data: dict) -> None:
     for label, row in data["programs"].items():
         assert row["runs_per_rep"] >= 4, f"{label}: too few replays to measure"
+        # the before leg must now carry a derived phase breakdown too
+        assert row["before"].get("phase_execute_p50_ms") is not None, (
+            f"{label}: before-leg phase breakdown missing"
+        )
     mm = data["programs"]["matmult"]
     assert mm["p50_speedup"] > 1.0, (
         f"per-replay p50 regressed: {mm['p50_speedup']:.2f}x"
@@ -237,6 +315,16 @@ def _check(data: dict) -> None:
             f"expected >=2x per-replay p50 on matmult, got "
             f"{mm['p50_speedup']:.2f}x"
         )
+    # checkpointed replay must not cost latency vs. full re-execution
+    # (5% tolerance absorbs scheduler jitter between the two subprocesses)
+    assert mm["after"]["p50_ms"] <= mm["after_no_checkpoint"]["p50_ms"] * 1.05, (
+        f"checkpointed p50 {mm['after']['p50_ms']:.2f}ms exceeds "
+        f"non-checkpointed {mm['after_no_checkpoint']['p50_ms']:.2f}ms"
+    )
+    assert mm["after"].get("checkpoint"), "checkpoint arm recorded no cache stats"
+    assert mm["after"]["checkpoint"]["hits"] > 0, (
+        "checkpoint arm never restored a snapshot"
+    )
 
 
 @pytest.mark.slow

@@ -188,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection, e.g. 'kill@run:3' or "
         "'hang@flip:1.2:30' (see repro.dampi.faults; robustness testing)",
     )
+    v.add_argument(
+        "--no-prefix-checkpoints",
+        action="store_true",
+        help="disable prefix-sharing replay (checkpoint/restore at "
+        "decision points); every guided replay re-executes from MPI_Init. "
+        "Reports are bit-identical either way",
+    )
 
     s = sub.add_parser(
         "stats",
@@ -304,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
         "'kill@coord:3' (see repro.dampi.faults)",
     )
     dr.add_argument(
+        "--no-prefix-checkpoints", action="store_true",
+        help="disable prefix-sharing replay inside the shard workers",
+    )
+    dr.add_argument(
         "--json-out", type=Path, default=None, metavar="FILE",
         help="write the report JSON",
     )
@@ -379,6 +390,7 @@ def cmd_verify(args) -> int:
         trace_events=bool(args.trace_out or args.events_out),
         progress_interval_seconds=args.progress,
         fault_plan=args.fault_plan,
+        prefix_checkpoints=not args.no_prefix_checkpoints,
     )
     cls = IspVerifier if args.baseline else DampiVerifier
     verifier = cls(program, args.nprocs, config, kwargs=kwargs)
@@ -601,6 +613,7 @@ def cmd_dist_run(args) -> int:
         policy=args.policy,
         progress_interval_seconds=args.progress,
         fault_plan=args.fault_plan,
+        prefix_checkpoints=not args.no_prefix_checkpoints,
     )
     journal = None
     if args.journal_dir is not None:

@@ -1,0 +1,129 @@
+"""Prefix-checkpoint cache for sibling-sharing replay.
+
+The schedule generator explores decision points depth-first: flipping a
+wildcard epoch yields a batch of *sibling* schedules that agree on every
+forced decision except the flipped epoch's source.  All siblings execute
+bit-identically up to the flip — so the first sibling's recording run
+snapshots the engine at its own flip point, and the remaining siblings
+restore the snapshot and execute only their divergent suffix.
+
+Only siblings share a checkpoint.  A *child* schedule (one that extends
+the prefix with epochs the parent matched naturally) must not restore:
+its forced map covers epochs the recording run matched naturally, and
+forcing-vs-naturally-matching differ observably (wildcard-match stats,
+policy RNG consumption, ``epoch.forced`` flags, consumed-decision
+accounting).  :func:`checkpoint_key` encodes exactly the sibling
+equivalence class: the flipped epoch plus the forced map *minus* the
+flip.
+
+The cache is an LRU over that key with a byte budget.  LRU-by-access
+naturally keeps the deepest *live* checkpoints (the ones DFS will ask
+for next) and evicts stale shallow prefixes first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.dampi.decisions import EpochDecisions
+
+
+def checkpoint_key(decisions: EpochDecisions):
+    """Sibling equivalence class of a guided schedule.
+
+    Two schedules share a key iff they flip the same epoch and agree on
+    every other forced decision — exactly the condition under which their
+    pre-flip execution is bit-identical.  Returns ``None`` for schedules
+    with no flip (the self run)."""
+    if decisions.flip is None:
+        return None
+    flip = decisions.flip
+    rest = tuple(sorted((k, v) for k, v in decisions.forced.items() if k != flip))
+    return (flip, rest)
+
+
+class PrefixCheckpointCache:
+    """LRU cache of engine snapshots keyed by sibling prefix.
+
+    ``put`` rejects snapshots larger than the whole budget (a cache that
+    holds exactly one entry and thrashes is worse than no cache) and
+    evicts least-recently-used entries until the budget holds.  Keys that
+    proved ineligible (the cut rank's engine state was not resumable) are
+    remembered so the remaining siblings skip the recording attempt.
+    """
+
+    def __init__(self, budget_bytes: int):
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+        self._bytes = 0
+        #: keys whose recording run found a non-resumable cut state
+        self.ineligible: set = set()
+        # counters (surfaced via ReplayExecutor / repro stats)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.skips = 0
+        self.restore_seconds = 0.0
+        self.capture_seconds = 0.0
+
+    # -- core ---------------------------------------------------------------
+
+    def get(self, key) -> Optional[object]:
+        snap = self._entries.get(key)
+        if snap is not None:
+            self._entries.move_to_end(key)
+        return snap
+
+    def put(self, key, snap) -> bool:
+        """Insert; returns False when the snapshot exceeds the budget."""
+        nbytes = getattr(snap, "nbytes", 0)
+        if nbytes > self.budget_bytes:
+            self.skips += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= getattr(old, "nbytes", 0)
+        self._entries[key] = snap
+        self._bytes += nbytes
+        while self._bytes > self.budget_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= getattr(evicted, "nbytes", 0)
+            self.evictions += 1
+        return True
+
+    def discard(self, key) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= getattr(old, "nbytes", 0)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def bytes_held(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "skips": self.skips,
+            "entries": len(self._entries),
+            "bytes_held": self._bytes,
+            "budget_bytes": self.budget_bytes,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "restore_ms": self.restore_seconds * 1000.0,
+            "capture_ms": self.capture_seconds * 1000.0,
+        }

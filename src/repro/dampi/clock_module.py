@@ -120,6 +120,33 @@ class DampiClockModule(ToolModule):
         self._consumed_decisions = set()
         self._forced_mismatches = []
 
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot_state(self):
+        # ``decisions`` is deliberately excluded: the replay session
+        # installs the (sibling-specific) decisions after every restore.
+        return (
+            self._state,
+            self._epoch_by_req,
+            self._icoll_pb,
+            self._matches,
+            self._consumed_decisions,
+            self._forced_mismatches,
+        )
+
+    def restore_state(self, state, runtime) -> None:
+        (
+            self._state,
+            self._epoch_by_req,
+            self._icoll_pb,
+            self._matches,
+            self._consumed_decisions,
+            self._forced_mismatches,
+        ) = state
+        self._engine = runtime.engine
+        self._nprocs = runtime.nprocs
+        self._tracer = getattr(runtime, "tracer", None)
+
     # -- piggyback wiring ----------------------------------------------------
 
     def _provide_stamp(self, proc):

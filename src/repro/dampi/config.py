@@ -136,6 +136,18 @@ class DampiConfig:
     persistent_session: bool = True
     indexed_matching: bool = True
     outcome_dedup: bool = False
+    #: Prefix-sharing replay (see :mod:`repro.dampi.checkpoint`): snapshot
+    #: the engine at each explored decision point and start the sibling
+    #: schedules of that point from the snapshot instead of re-executing
+    #: the shared prefix from MPI_Init.  Reports stay bit-identical; the
+    #: session demotes itself (logged, like the single-CPU ``jobs``
+    #: demotion) when the run uses non-snapshotable resources.
+    prefix_checkpoints: bool = True
+    #: Byte budget (MiB) for the per-session prefix-checkpoint LRU cache.
+    checkpoint_cache_mb: int = 64
+    #: Snapshot only decision points whose forced-prefix depth is a
+    #: multiple of this (1 = every decision point).
+    checkpoint_interval: int = 1
     policy: str = "arrival"
     mode: str = "run_to_block"
     cost_model: CostModel = field(default_factory=CostModel)
@@ -178,6 +190,10 @@ class DampiConfig:
             raise ValueError("jobs must be None (= cpu_count) or >= 1")
         if self.job_timeout_seconds is not None and self.job_timeout_seconds <= 0:
             raise ValueError("job_timeout_seconds must be None or > 0")
+        if self.checkpoint_cache_mb < 1:
+            raise ValueError("checkpoint_cache_mb must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
         if self.trace_buffer < 1:
             raise ValueError("trace_buffer must be >= 1")
         if (

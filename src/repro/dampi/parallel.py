@@ -111,26 +111,59 @@ def _discard_pool(pool: ProcessPoolExecutor) -> None:
 _WORKER_CACHE: list = [None, None]
 
 
-def _execute_replay(spec: ReplaySpec, decisions: EpochDecisions):
-    """Worker entry point: one guided replay, timed."""
+def _worker_verifier(spec: ReplaySpec):
     if _WORKER_CACHE[0] == spec and _WORKER_CACHE[1] is not None:
-        verifier = _WORKER_CACHE[1]
-    else:
-        if _WORKER_CACHE[1] is not None:
-            _WORKER_CACHE[1].close()
-        verifier = spec.verifier_cls(
-            spec.program,
-            spec.nprocs,
-            spec.config,
-            args=spec.args,
-            kwargs=spec.kwargs,
-            **spec.ctor_extra,
-        )
-        _WORKER_CACHE[0] = spec
-        _WORKER_CACHE[1] = verifier
+        return _WORKER_CACHE[1]
+    if _WORKER_CACHE[1] is not None:
+        _WORKER_CACHE[1].close()
+    verifier = spec.verifier_cls(
+        spec.program,
+        spec.nprocs,
+        spec.config,
+        args=spec.args,
+        kwargs=spec.kwargs,
+        **spec.ctor_extra,
+    )
+    _WORKER_CACHE[0] = spec
+    _WORKER_CACHE[1] = verifier
+    return verifier
+
+
+def _execute_replay(spec: ReplaySpec, decisions: EpochDecisions):
+    """One guided replay, timed, plus the worker's checkpoint-cache stats.
+
+    The stats are the worker verifier's *cumulative* counters tagged with
+    the process id — the executor keeps the latest snapshot per pid and
+    sums across workers (snapshots themselves never cross processes)."""
+    verifier = _worker_verifier(spec)
     t0 = time.perf_counter()
     result, trace = verifier.run_once(decisions)
-    return result, trace, time.perf_counter() - t0
+    duration = time.perf_counter() - t0
+    wstats = None
+    ckpt = verifier.checkpoint_stats()
+    if ckpt is not None:
+        wstats = dict(ckpt)
+        wstats["pid"] = os.getpid()
+    return result, trace, duration, wstats
+
+
+def _execute_replay_group(spec: ReplaySpec, group: Sequence[EpochDecisions]):
+    """Worker entry point: a batch of *sibling* schedules (same checkpoint
+    key) run back-to-back on one worker, so the first one's prefix
+    snapshot serves every other member from this worker's session cache —
+    checkpoint-affinity scheduling."""
+    return [_execute_replay(spec, d) for d in group]
+
+
+@dataclass
+class _Pending:
+    """One schedule awaiting a pool future.  Sibling schedules submitted
+    as a group share the future; ``index`` locates each one's entry in the
+    group result list."""
+
+    future: Any
+    index: int
+    size: int
 
 
 @dataclass
@@ -184,6 +217,7 @@ class ReplayExecutor:
         force: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
+        checkpoint_stats_fn: Optional[Callable] = None,
     ):
         self.spec = spec
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
@@ -193,8 +227,17 @@ class ReplayExecutor:
         self._tracer = tracer
         self.parallel = self.jobs > 1 and spec.picklable()
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._futures: dict[ScheduleKey, Any] = {}
+        self._futures: dict[ScheduleKey, _Pending] = {}
         self._done: dict[ScheduleKey, ReplayOutcome] = {}
+        #: in-process checkpoint-cache stats source (the serial verifier's
+        #: session); pool workers report theirs with each task result
+        self._checkpoint_stats_fn = checkpoint_stats_fn
+        #: pid -> latest cumulative checkpoint stats from that pool worker
+        self._worker_ckpt: dict[int, dict] = {}
+        #: group sibling schedules (same prefix checkpoint) onto one worker
+        self.checkpoint_affinity = bool(
+            getattr(spec.config, "prefix_checkpoints", False)
+        )
         # -- observability ----------------------------------------------------
         # counters live in a MetricsRegistry (shared with the campaign's
         # telemetry when verify() built this executor); the attribute names
@@ -299,11 +342,12 @@ class ReplayExecutor:
         tr = self._tracer
         if tr is not None:
             tr.instant("pool_recycle", "sched", reason=reason)
-        for key, fut in list(self._futures.items()):
-            if fut.done():
+        for key, p in list(self._futures.items()):
+            if p.future.done():
                 del self._futures[key]
                 try:
-                    r, t, d = fut.result()
+                    r, t, d, w = p.future.result()[p.index]
+                    self._worker_stats(w)
                     self._done[key] = ReplayOutcome(r, t, d, miss=False)
                 except Exception:
                     pass
@@ -323,19 +367,56 @@ class ReplayExecutor:
 
     # -- execution ------------------------------------------------------------
 
-    def _submit(self, decisions: EpochDecisions) -> None:
-        key = schedule_key(decisions)
-        if key in self._futures or key in self._done:
+    def _submit(self, group: Sequence[EpochDecisions]) -> None:
+        """Submit a group of sibling schedules as one worker task."""
+        group = [
+            d
+            for d in group
+            if schedule_key(d) not in self._futures
+            and schedule_key(d) not in self._done
+        ]
+        if not group:
             return
         pool = self._ensure_pool()
         try:
-            self._futures[key] = pool.submit(_execute_replay, self.spec, decisions)
-            self._c_submitted.inc()
+            fut = pool.submit(_execute_replay_group, self.spec, group)
+            for i, d in enumerate(group):
+                self._futures[schedule_key(d)] = _Pending(fut, i, len(group))
+            self._c_submitted.inc(len(group))
             tr = self._tracer
             if tr is not None:
-                tr.instant("pool_submit", "sched", flip=decisions.flip)
+                tr.instant(
+                    "pool_submit", "sched",
+                    flip=group[0].flip, group=len(group),
+                )
         except Exception:  # pool already broken/shut down
             self._demote("pool submission failed")
+
+    def _sibling_groups(
+        self, batch: Sequence[EpochDecisions]
+    ) -> list[list[EpochDecisions]]:
+        """Partition a wave into checkpoint-affinity groups: schedules that
+        share a prefix checkpoint run back-to-back on one worker (the
+        first records the snapshot, the rest restore it from that worker's
+        session cache).  Without affinity every schedule is its own group."""
+        if not self.checkpoint_affinity:
+            return [[d] for d in batch]
+        from repro.dampi.checkpoint import checkpoint_key
+
+        groups: dict = {}
+        order: list[list[EpochDecisions]] = []
+        for d in batch:
+            k = checkpoint_key(d)
+            if k is None:
+                order.append([d])
+                continue
+            g = groups.get(k)
+            if g is None:
+                g = []
+                groups[k] = g
+                order.append(g)
+            g.append(d)
+        return order
 
     def run(
         self, decisions: EpochDecisions, batch: Sequence[EpochDecisions] = ()
@@ -344,10 +425,10 @@ class ReplayExecutor:
         if self._trace_width:
             self.wave_log.append([schedule_key(d) for d in batch])
         if self.parallel:
-            for d in batch:
+            for group in self._sibling_groups(batch):
                 if not self.parallel:  # a submit may demote mid-wave
                     break
-                self._submit(d)
+                self._submit(group)
         out = self._take(decisions) if self.parallel else self._run_inline(decisions)
         self.consumed_keys.append(schedule_key(decisions))
         self.consumed_seconds.append(out.duration)
@@ -368,21 +449,39 @@ class ReplayExecutor:
         result, trace = runner(decisions)
         return ReplayOutcome(result, trace, time.perf_counter() - t0, miss=True)
 
+    def _worker_stats(self, wstats: Optional[dict]) -> None:
+        """Record a pool worker's cumulative checkpoint-cache snapshot."""
+        if wstats:
+            self._worker_ckpt[wstats["pid"]] = wstats
+
     def _take(self, decisions: EpochDecisions) -> ReplayOutcome:
         key = schedule_key(decisions)
         done = self._done.pop(key, None)
         if done is not None:
             return done
-        fut = self._futures.pop(key, None)
-        if fut is None:
-            self._submit(decisions)
-            fut = self._futures.pop(key, None)
-            if fut is None:  # submission demoted us — run in-process
+        pending = self._futures.pop(key, None)
+        if pending is None:
+            self._submit([decisions])
+            pending = self._futures.pop(key, None)
+            if pending is None:  # submission demoted us — run in-process
                 return self._run_inline(decisions)
-        miss = not fut.done()
+        miss = not pending.future.done()
         try:
-            result, trace, duration = fut.result(timeout=self.timeout)
-            out = ReplayOutcome(result, trace, duration, miss=miss)
+            # a group task runs its members back-to-back on one worker, so
+            # the per-replay budget scales with the group size
+            timeout = self.timeout * pending.size if self.timeout else None
+            items = pending.future.result(timeout=timeout)
+            r, t, d, w = items[pending.index]
+            self._worker_stats(w)
+            out = ReplayOutcome(r, t, d, miss=miss)
+            # the group future resolved every sibling at once — move them
+            # from the futures map into the cache
+            for k, p in list(self._futures.items()):
+                if p.future is pending.future:
+                    del self._futures[k]
+                    r, t, d, w = items[p.index]
+                    self._worker_stats(w)
+                    self._done[k] = ReplayOutcome(r, t, d, miss=False)
         except FutureTimeoutError:
             # cancel() is a no-op on a running future: the worker is wedged
             # and would keep its slot (and block close()) forever — recycle
@@ -414,11 +513,12 @@ class ReplayExecutor:
         # harvest any sibling futures that completed while we waited, so the
         # cache (not the futures map) carries them and close() accounting of
         # still-running work stays accurate
-        for k, f in list(self._futures.items()):
-            if f.done():
+        for k, p in list(self._futures.items()):
+            if p.future.done():
                 del self._futures[k]
                 try:
-                    r, t, d = f.result()
+                    r, t, d, w = p.future.result()[p.index]
+                    self._worker_stats(w)
                     self._done[k] = ReplayOutcome(r, t, d, miss=False)
                 except Exception:
                     pass  # surfaced as a miss-with-failure if ever consumed
@@ -426,8 +526,44 @@ class ReplayExecutor:
 
     # -- accounting -----------------------------------------------------------
 
+    def checkpoint_stats(self) -> Optional[dict]:
+        """Aggregate prefix-checkpoint cache stats: the in-process session's
+        counters plus the latest cumulative snapshot from every pool worker
+        that reported one.  None when checkpointing never ran anywhere."""
+        sources = []
+        if self._checkpoint_stats_fn is not None:
+            inline = self._checkpoint_stats_fn()
+            if inline is not None:
+                sources.append(inline)
+        sources.extend(self._worker_ckpt.values())
+        if not sources:
+            return None
+        agg = {
+            k: 0
+            for k in (
+                "hits", "misses", "evictions", "skips",
+                "entries", "bytes_held",
+            )
+        }
+        agg["restore_ms"] = 0.0
+        agg["capture_ms"] = 0.0
+        enabled = False
+        demote_reasons = []
+        for s in sources:
+            for k in agg:
+                agg[k] += s.get(k, 0)
+            enabled = enabled or bool(s.get("enabled"))
+            if s.get("demote_reason"):
+                demote_reasons.append(s["demote_reason"])
+        total = agg["hits"] + agg["misses"]
+        agg["hit_rate"] = (agg["hits"] / total) if total else 0.0
+        agg["enabled"] = enabled
+        agg["demote_reason"] = demote_reasons[0] if demote_reasons else None
+        agg["workers_reporting"] = len(self._worker_ckpt)
+        return agg
+
     def stats(self) -> dict:
-        return {
+        out = {
             "mode": "pool" if (self.parallel or self.demoted) else "inline",
             "jobs": self.jobs,
             "wave_width": self.wave_width,
@@ -441,6 +577,10 @@ class ReplayExecutor:
             "demoted": self.demoted,
             "demote_reason": self.demote_reason,
         }
+        ckpt = self.checkpoint_stats()
+        if ckpt is not None:
+            out["checkpoint"] = ckpt
+        return out
 
 
 def simulate_wave_schedule(

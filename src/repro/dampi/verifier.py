@@ -10,10 +10,12 @@ witness that reproduces it.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.dampi.checkpoint import PrefixCheckpointCache, checkpoint_key
 from repro.dampi.clock_module import DampiClockModule
 from repro.dampi.config import DampiConfig
 from repro.dampi.decisions import EpochDecisions
@@ -26,9 +28,31 @@ from repro.dampi.parallel import ReplayExecutor, ReplaySpec
 from repro.dampi.piggyback import PiggybackModule
 from repro.errors import DeadlockError
 from repro.mpi.runtime import RankExecutorPool, Runtime, RunResult
+from repro.mpi.snapshot import (
+    CheckpointError,
+    CheckpointIneligible,
+    CheckpointUnsupported,
+    RecordingProc,
+)
 from repro.mpi.tracing import TraceModule
 from repro.obs.campaign import CampaignTelemetry
 from repro.obs.trace import Tracer
+from repro.pnmpi.module import ToolModule
+
+_log = logging.getLogger(__name__)
+
+#: composite entry points the RecordingProc facade decomposes into PMPI
+#: primitives during record/replay; a tool module wrapping one of these
+#: would be bypassed by the decomposition, so its presence demotes
+#: checkpointing (full replays are unaffected — chains stay intact there)
+_CHECKPOINT_COMPOSITES = (
+    "waitall",
+    "waitany",
+    "waitsome",
+    "testall",
+    "ssend",
+    "sendrecv",
+)
 
 
 class _ReplaySession:
@@ -71,15 +95,186 @@ class _ReplaySession:
         self.pool = RankExecutorPool(
             verifier.nprocs, name=f"{self.runtime.name}-session"
         )
+        # -- prefix-sharing replay (repro.dampi.checkpoint) ----------------
+        self.checkpoint_cache: Optional[PrefixCheckpointCache] = None
+        self.checkpoint_demote_reason: Optional[str] = None
+        self.checkpoint_interval = cfg.checkpoint_interval
+        self._ckpt_stats_final: Optional[dict] = None
+        self._faults = verifier._faults
+        if cfg.prefix_checkpoints:
+            reason = self._checkpoint_unsupported_reason(verifier)
+            if reason is None:
+                self.runtime.install_views(
+                    [RecordingProc(p) for p in self.runtime.procs]
+                )
+                self.checkpoint_cache = PrefixCheckpointCache(
+                    cfg.checkpoint_cache_mb * 1024 * 1024
+                )
+            else:
+                # mirror the executor's single-CPU jobs demotion: log and
+                # fall back to full replays instead of erroring mid-campaign
+                self.checkpoint_demote_reason = reason
+                _log.info("prefix checkpoints demoted: %s", reason)
+
+    def _checkpoint_unsupported_reason(self, verifier) -> Optional[str]:
+        """Why this session cannot checkpoint (None = it can)."""
+        cfg = verifier.config
+        if cfg.mode != "run_to_block":
+            return f"scheduling mode {cfg.mode!r} is not deterministic"
+        if verifier._run_tracer is not None:
+            return "per-run event tracing is enabled (trace_events)"
+        for module in self.runtime.stack:
+            if type(module).snapshot_state is ToolModule.snapshot_state:
+                return f"tool module {module.name!r} has no snapshot support"
+            for point in _CHECKPOINT_COMPOSITES:
+                if module.overrides(point):
+                    return (
+                        f"tool module {module.name!r} wraps composite "
+                        f"{point!r} (record/replay decomposition would "
+                        f"bypass it)"
+                    )
+        return None
 
     def run(
         self, decisions: Optional[EpochDecisions]
     ) -> tuple[RunResult, RunTrace]:
+        decisions = decisions or EpochDecisions()
+        cache = self.checkpoint_cache
+        if cache is None or decisions.flip is None:
+            return self._run_full(decisions)
+        key = checkpoint_key(decisions)
+        if key in cache.ineligible:
+            cache.skips += 1
+            return self._run_full(decisions)
+        snap = cache.get(key)
+        if snap is not None:
+            out = self._run_restored(snap, decisions)
+            if out is not None:
+                return out
+            # the restore/replay failed and demoted checkpointing
+            return self._run_full(decisions)
+        if not decisions.expect_siblings:
+            # the generator knows no other schedule shares this prefix
+            # right now — recording would almost surely be wasted
+            return self._run_full(decisions)
+        if len(decisions.forced) % self.checkpoint_interval != 0:
+            return self._run_full(decisions)
+        cache.misses += 1
+        return self._run_recording(decisions, key)
+
+    def _run_full(self, decisions: EpochDecisions) -> tuple[RunResult, RunTrace]:
         self.runtime.recycle()
-        self.clock.decisions = decisions or EpochDecisions()
+        self.clock.decisions = decisions
         pool = None if self.pool.broken else self.pool
         result = self.runtime.run(pool=pool)
         return result, result.artifacts["dampi"]
+
+    def _run_recording(
+        self, decisions: EpochDecisions, key
+    ) -> tuple[RunResult, RunTrace]:
+        """Full replay that snapshots the engine at its own flip point, so
+        the flipped node's sibling schedules can resume from there."""
+        self.runtime.recycle()
+        self.clock.decisions = decisions
+        flip_rank, flip_lc = decisions.flip
+        views = self.runtime.views
+        for view in views:
+            view.start_record()
+
+        session = self
+
+        def trigger(view, _rank=flip_rank, _lc=flip_lc, _key=key):
+            # pre-tick clock identifies the epoch, exactly as the clock
+            # module's irecv/probe hooks key it
+            if session.clock._state[_rank].clock.time != _lc:
+                return
+            view._trigger = None
+            session._capture(_key)
+
+        views[flip_rank]._trigger = trigger
+        try:
+            pool = None if self.pool.broken else self.pool
+            result = self.runtime.run(pool=pool)
+        finally:
+            for view in views:
+                view.set_passthrough()
+        return result, result.artifacts["dampi"]
+
+    def _capture(self, key) -> None:
+        """Runs on the flip rank's thread, just before the flip operation
+        is delegated to the engine."""
+        cache = self.checkpoint_cache
+        if cache is None:
+            return
+        try:
+            snap = self.runtime.snapshot()
+        except CheckpointIneligible:
+            cache.ineligible.add(key)
+            cache.skips += 1
+            return
+        except CheckpointUnsupported as e:
+            self._demote_checkpoints(f"capture failed: {e}")
+            return
+        cache.capture_seconds += snap.capture_seconds
+        snap.key = key
+        snap.depth = len(key[1]) + 1
+        cache.put(key, snap)
+        # the logs up to the cut are inside the snapshot — stop paying
+        # record overhead for the rest of this run
+        for view in self.runtime.views:
+            if view.recording:
+                view.set_passthrough()
+
+    def _run_restored(
+        self, snap, decisions: EpochDecisions
+    ) -> Optional[tuple[RunResult, RunTrace]]:
+        """Resume a sibling schedule from its prefix checkpoint; None means
+        the attempt failed (checkpointing has been demoted — run full)."""
+        cache = self.checkpoint_cache
+        if self._faults:
+            self._faults.fire("restore", decisions.flip)
+        try:
+            self.runtime.recycle(checkpoint=snap)
+        except Exception as e:  # noqa: BLE001 - any restore failure => demote
+            self._demote_checkpoints(
+                f"restore failed: {type(e).__name__}: {e}"
+            )
+            return None
+        self.clock.decisions = decisions
+        pool = None if self.pool.broken else self.pool
+        result = self.runtime.run(pool=pool)
+        for exc in result.errors.values():
+            if isinstance(exc, CheckpointError):
+                # the restored run was not actually a sibling of the
+                # recording — an invariant violation, not a user bug
+                self._demote_checkpoints(f"replay diverged: {exc}")
+                return None
+        cache.hits += 1
+        cache.restore_seconds += self.runtime._restore_seconds
+        return result, result.artifacts["dampi"]
+
+    def _demote_checkpoints(self, reason: str) -> None:
+        cache = self.checkpoint_cache
+        if cache is None:
+            return
+        self._ckpt_stats_final = cache.stats()
+        self.checkpoint_cache = None
+        self.checkpoint_demote_reason = reason
+        _log.info("prefix checkpoints demoted: %s", reason)
+        for view in self.runtime.views or ():
+            view.set_passthrough()
+
+    def checkpoint_stats(self) -> dict:
+        cache = self.checkpoint_cache
+        if cache is not None:
+            stats = cache.stats()
+        elif self._ckpt_stats_final is not None:
+            stats = dict(self._ckpt_stats_final)
+        else:
+            stats = PrefixCheckpointCache(1).stats()
+        stats["enabled"] = cache is not None
+        stats["demote_reason"] = self.checkpoint_demote_reason
+        return stats
 
     def close(self) -> None:
         self.pool.close()
@@ -303,6 +498,8 @@ class DampiVerifier:
         self.kwargs = kwargs or {}
         self._session: Optional[_ReplaySession] = None
         self._runs_started = 0
+        #: checkpoint-cache stats preserved across close() (report wiring)
+        self._last_checkpoint_stats: Optional[dict] = None
         #: deterministic fault injection (no-op unless config.fault_plan);
         #: fired at self/run sites by verify() and at flip sites by
         #: run_once() — so flip faults strike wherever the replay actually
@@ -394,7 +591,20 @@ class DampiVerifier:
         session = getattr(self, "_session", None)
         self._session = None
         if session is not None:
+            try:
+                self._last_checkpoint_stats = session.checkpoint_stats()
+            except Exception:
+                pass
             session.close()
+
+    def checkpoint_stats(self) -> Optional[dict]:
+        """Prefix-checkpoint cache counters (hits/misses/evictions/bytes),
+        from the live session or — after close() — its final snapshot.
+        None when no session ever existed (single-run usage)."""
+        session = self._session
+        if session is not None:
+            return session.checkpoint_stats()
+        return self._last_checkpoint_stats
 
     def __del__(self):  # best-effort; daemon threads die with the process
         # At interpreter shutdown module globals may already be None and
@@ -432,6 +642,7 @@ class DampiVerifier:
             force=self.config.force_jobs,
             metrics=telemetry.metrics if telemetry is not None else None,
             tracer=telemetry.tracer if telemetry is not None else None,
+            checkpoint_stats_fn=self.checkpoint_stats,
         )
 
     def verify(

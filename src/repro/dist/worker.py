@@ -27,6 +27,19 @@ Three deliberate deviations from the serial loop:
   re-issued after a worker death replays its finished work from disk
   instead of re-executing it.
 
+Prefix checkpoints compose with sharding for free: the worker keeps one
+:class:`~repro.dampi.verifier.DampiVerifier` (and thus one replay
+session and one ``PrefixCheckpointCache``) for its whole life, so a
+lease whose root is a *sibling* of an earlier lease's root — same flip
+node, different alternative — restores from the checkpoint that earlier
+lease recorded instead of re-executing the shared prefix from
+``MPI_Init``.  The coordinator dedups sibling leases from the same
+discovery, so they frequently land on the same worker back-to-back.
+Cache counters ship upstream in the ``bye`` frame as ``ckpt.*`` metrics
+— their own nondeterministic namespace rather than ``exec.*``, because
+``exec.*`` totals are worker-count-invariant while cache hits depend on
+which worker a sibling lease lands on.
+
 Work stealing: when the coordinator sends ``steal``, the worker splits
 the deepest open node of its current subtree
 (:meth:`~repro.dampi.explorer.ScheduleGenerator.split_deepest`) and
@@ -180,6 +193,24 @@ class _ShardWorker:
                 )
         return specs
 
+    def _fold_checkpoint_metrics(self) -> None:
+        """Fold the replay session's checkpoint-cache counters into the
+        metrics snapshot shipped with ``bye``.  They ride the ``ckpt.``
+        namespace — nondeterministic, so the coordinator's prefix filter
+        keeps them and sums across workers, but deliberately *not*
+        ``exec.``, whose totals stay worker-count-invariant."""
+        ckpt = self.verifier.checkpoint_stats()
+        if not ckpt:
+            return
+        for name in ("hits", "misses", "evictions", "skips"):
+            n = int(ckpt.get(name) or 0)
+            if n:
+                self.metrics.inc(f"ckpt.{name}", n)
+        for name in ("restore_ms", "capture_ms"):
+            v = float(ckpt.get(name) or 0.0)
+            if v:
+                self.metrics.inc(f"ckpt.{name}", round(v, 3))
+
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> None:
@@ -203,6 +234,7 @@ class _ShardWorker:
                 break
             if frame.get("t") == "shutdown":
                 self._alive = False
+                self._fold_checkpoint_metrics()
                 self._send(
                     {
                         "t": "bye",

@@ -12,6 +12,7 @@ so the class is ``__slots__``-based with the wire size computed once.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from typing import Any
 
@@ -36,6 +37,17 @@ def reset_envelope_ids() -> None:
     """
     global _envelope_ids
     _envelope_ids = itertools.count(1)
+
+
+def envelope_ids_mark() -> int:
+    """Next uid the counter would hand out (checkpoint capture)."""
+    return next(copy.copy(_envelope_ids))
+
+
+def set_envelope_ids(next_uid: int) -> None:
+    """Resume envelope numbering at ``next_uid`` (checkpoint restore)."""
+    global _envelope_ids
+    _envelope_ids = itertools.count(next_uid)
 
 
 class Envelope:

@@ -9,6 +9,7 @@ sees every completion — that is where DAMPI does its late-message work).
 
 from __future__ import annotations
 
+import copy
 import enum
 import itertools
 from typing import Any, Optional
@@ -28,6 +29,17 @@ def reset_request_ids() -> None:
     or on a pool worker (see :mod:`repro.dampi.parallel`)."""
     global _request_ids
     _request_ids = itertools.count(1)
+
+
+def request_ids_mark() -> int:
+    """Next uid the counter would hand out (checkpoint capture)."""
+    return next(copy.copy(_request_ids))
+
+
+def set_request_ids(next_uid: int) -> None:
+    """Resume request numbering at ``next_uid`` (checkpoint restore)."""
+    global _request_ids
+    _request_ids = itertools.count(next_uid)
 
 
 class RequestKind(enum.Enum):

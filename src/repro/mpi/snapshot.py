@@ -1,0 +1,700 @@
+"""Engine checkpoint/restore: the mechanics behind prefix-sharing replay.
+
+A *checkpoint* is a structured clone of everything one deterministic run
+has built up to a decision point: mailboxes, matching queues, requests,
+collective instances, contexts, virtual clocks, scheduling state, match
+policy, tool-module state, and a per-rank log of every MPI call each rank
+has completed so far.  Restoring a checkpoint rebuilds a fresh
+:class:`~repro.mpi.engine.MessageEngine` around the clone; rank threads
+then *fast-forward* through their logs — returning recorded results
+without touching the engine — until each reaches the exact operation it
+was captured inside, at which point it re-enters the engine's wait state
+(see ``MessageEngine._reenter_block`` / ``reenter_gate``) and execution
+continues live from the decision point.
+
+Why replay the program at all instead of freezing threads?  Rank mains are
+ordinary Python frames on OS threads; their stacks cannot be cloned.  What
+*can* be cloned is every side effect the engine has seen, and rank code is
+deterministic given its MPI results — so re-running each rank's code with
+recorded results reproduces the exact frame state at a fraction of the
+cost (no engine traffic, no token switches, no matching work).
+
+Captures are only taken at *eligible* states: deterministic run_to_block
+scheduling, no fatal error, and every non-finished started rank parked in
+a plain ``wait``/``waitany`` with no tool hook blocked around it (the
+``blocks_this_call`` counter proves that).  Anything else — ranks inside
+collectives, probes, finalize drains, piggyback waits — is skipped, never
+guessed at.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+import sys
+import time
+from typing import Any, Callable, Optional
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.engine import MessageEngine, RankRunState, WORLD_CTX
+from repro.mpi.message import envelope_ids_mark, set_envelope_ids
+from repro.mpi.request import RequestState, request_ids_mark, set_request_ids
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint capture/restore failures."""
+
+
+class CheckpointIneligible(CheckpointError):
+    """The engine state at the decision point is not capturable (a rank is
+    blocked somewhere re-entry cannot resume).  A skip, not a failure."""
+
+
+class CheckpointUnsupported(CheckpointError):
+    """The job uses resources the structured clone cannot capture (a tool
+    module without snapshot support, an uncopyable payload, ...).  The
+    session demotes to full replay when it sees this."""
+
+
+class CheckpointRestoreError(CheckpointError):
+    """A restore produced state that does not match the capture fingerprint."""
+
+
+class CheckpointDivergence(CheckpointError):
+    """A fast-forwarding rank issued a different MPI call than the one its
+    replay log recorded — the restored run is not actually a sibling of the
+    recorded one.  The session falls back to a full replay."""
+
+
+# RecordingProc modes
+_PASSTHROUGH = 0
+_RECORD = 1
+_REPLAY = 2
+
+
+class RecordingProc:
+    """Per-rank facade over a :class:`~repro.mpi.process.Proc`.
+
+    Three modes:
+
+    passthrough
+        Delegate every call unchanged (the steady state outside
+        checkpointed runs — one extra frame, no behavioural change).
+    record
+        Delegate, then append ``(op, raised, result)`` to the rank's log.
+        Blocking composites (recv, waitall, ...) are decomposed into the
+        same primitive sequence the PMPI bottoms use, so the log holds
+        exactly the unit of work each engine interaction produced.
+    replay
+        Return logged results *without* delegating, until the log is
+        exhausted — then re-enter the engine (``reenter_gate``) and go
+        passthrough.  Branch-relevant observations (request-state checks
+        in waitsome/testall) are logged values too, never recomputed:
+        request states mutate after capture, but the recorded run's
+        control flow must be reproduced bit-for-bit.
+
+    The facade is installed as the program's process handle *and* as the
+    ``proc`` behind requests/communicators (``Proc.install_view``), so
+    ``req.wait()`` and ``comm.recv(...)`` re-enter it.  Tool modules keep
+    the raw ``Proc`` — tool traffic is never recorded; its effects live in
+    the cloned module/engine state instead.
+    """
+
+    __slots__ = ("_proc", "_mode", "_entries", "_pos", "_trigger")
+
+    def __init__(self, proc):
+        self._proc = proc
+        self._mode = _PASSTHROUGH
+        self._entries: list = []
+        self._pos = 0
+        #: armed by the session on recording runs: called with this view
+        #: before any wildcard receive/probe is delegated (cut detection)
+        self._trigger: Optional[Callable] = None
+
+    # -- mode control (session/restore side) ------------------------------
+
+    def set_passthrough(self) -> None:
+        self._mode = _PASSTHROUGH
+        self._entries = []
+        self._pos = 0
+        self._trigger = None
+
+    def start_record(self) -> None:
+        self._mode = _RECORD
+        self._entries = []
+        self._pos = 0
+
+    def start_replay(self, entries: list) -> None:
+        self._mode = _REPLAY
+        self._entries = entries
+        self._pos = 0
+        self._trigger = None
+
+    @property
+    def recording(self) -> bool:
+        return self._mode == _RECORD
+
+    # -- the mode dispatcher ----------------------------------------------
+
+    def _sub(self, tag: str, thunk):
+        mode = self._mode
+        if mode == _PASSTHROUGH:
+            return thunk()
+        if mode == _RECORD:
+            proc = self._proc
+            proc.engine.begin_call(proc.world_rank)
+            try:
+                value = thunk()
+            except BaseException as e:  # noqa: BLE001 - log and re-raise
+                self._entries.append((tag, True, e))
+                raise
+            self._entries.append((tag, False, value))
+            return value
+        # replay
+        entries = self._entries
+        pos = self._pos
+        if pos >= len(entries):
+            # log exhausted: re-enter the engine and run live from here on
+            self._mode = _PASSTHROUGH
+            proc = self._proc
+            proc.engine.reenter_gate(proc.world_rank)
+            return thunk()
+        logged_tag, raised, value = entries[pos]
+        if logged_tag != tag:
+            raise CheckpointDivergence(
+                f"rank {self._proc.world_rank}: replay issued {tag!r} where "
+                f"the recording logged {logged_tag!r} (entry {pos})"
+            )
+        self._pos = pos + 1
+        if raised:
+            raise value
+        return value
+
+    def _maybe_capture(self, source: int) -> None:
+        trigger = self._trigger
+        if trigger is not None and source == ANY_SOURCE:
+            trigger(self)
+
+    # -- primitives (one engine interaction each) -------------------------
+
+    def isend(self, comm, payload, dest, tag=0):
+        return self._sub("isend", lambda: self._proc.isend(comm, payload, dest, tag))
+
+    def issend(self, comm, payload, dest, tag=0):
+        return self._sub("issend", lambda: self._proc.issend(comm, payload, dest, tag))
+
+    def irecv(self, comm, source=ANY_SOURCE, tag=ANY_TAG, max_count=None):
+        self._maybe_capture(source)
+        return self._sub(
+            "irecv", lambda: self._proc.irecv(comm, source, tag, max_count)
+        )
+
+    def wait(self, req):
+        return self._sub("wait", lambda: self._proc.wait(req))
+
+    def test(self, req):
+        return self._sub("test", lambda: self._proc.test(req))
+
+    def probe(self, comm, source=ANY_SOURCE, tag=ANY_TAG):
+        self._maybe_capture(source)
+        return self._sub("probe", lambda: self._proc.probe(comm, source, tag))
+
+    def iprobe(self, comm, source=ANY_SOURCE, tag=ANY_TAG):
+        self._maybe_capture(source)
+        return self._sub("iprobe", lambda: self._proc.iprobe(comm, source, tag))
+
+    def barrier(self, comm):
+        return self._sub("barrier", lambda: self._proc.barrier(comm))
+
+    def ibarrier(self, comm):
+        return self._sub("ibarrier", lambda: self._proc.ibarrier(comm))
+
+    def ibcast(self, comm, payload=None, root=0):
+        return self._sub("ibcast", lambda: self._proc.ibcast(comm, payload, root))
+
+    def iallreduce(self, comm, payload, op=None):
+        return self._sub("iallreduce", lambda: self._proc.iallreduce(comm, payload, op))
+
+    def bcast(self, comm, payload=None, root=0):
+        return self._sub("bcast", lambda: self._proc.bcast(comm, payload, root))
+
+    def reduce(self, comm, payload, op=None, root=0):
+        return self._sub("reduce", lambda: self._proc.reduce(comm, payload, op, root))
+
+    def allreduce(self, comm, payload, op=None):
+        return self._sub("allreduce", lambda: self._proc.allreduce(comm, payload, op))
+
+    def gather(self, comm, payload, root=0):
+        return self._sub("gather", lambda: self._proc.gather(comm, payload, root))
+
+    def scatter(self, comm, payloads=None, root=0):
+        return self._sub("scatter", lambda: self._proc.scatter(comm, payloads, root))
+
+    def allgather(self, comm, payload):
+        return self._sub("allgather", lambda: self._proc.allgather(comm, payload))
+
+    def alltoall(self, comm, payloads):
+        return self._sub("alltoall", lambda: self._proc.alltoall(comm, payloads))
+
+    def reduce_scatter(self, comm, payloads, op=None):
+        return self._sub(
+            "reduce_scatter", lambda: self._proc.reduce_scatter(comm, payloads, op)
+        )
+
+    def scan(self, comm, payload, op=None):
+        return self._sub("scan", lambda: self._proc.scan(comm, payload, op))
+
+    def comm_dup(self, comm):
+        return self._sub("comm_dup", lambda: self._proc.comm_dup(comm))
+
+    def comm_split(self, comm, color, key=0):
+        return self._sub("comm_split", lambda: self._proc.comm_split(comm, color, key))
+
+    def comm_free(self, comm):
+        return self._sub("comm_free", lambda: self._proc.comm_free(comm))
+
+    def request_free(self, req):
+        return self._sub("request_free", lambda: self._proc.request_free(req))
+
+    def pcontrol(self, level):
+        return self._sub("pcontrol", lambda: self._proc.pcontrol(level))
+
+    def compute(self, seconds):
+        return self._sub("compute", lambda: self._proc.compute(seconds))
+
+    def finalize(self):
+        return self._sub("finalize", lambda: self._proc.finalize())
+
+    # -- composites, decomposed exactly like the PMPI bottoms -------------
+    # (valid because checkpoint eligibility requires that no tool module
+    # overrides a composite entry point — see session gating)
+
+    def send(self, comm, payload, dest, tag=0):
+        req = self.isend(comm, payload, dest, tag)
+        self.wait(req)
+
+    def ssend(self, comm, payload, dest, tag=0):
+        req = self.issend(comm, payload, dest, tag)
+        self.wait(req)
+
+    def recv(self, comm, source=ANY_SOURCE, tag=ANY_TAG, status=None, max_count=None):
+        req = self.irecv(comm, source, tag, max_count)
+        st = self.wait(req)
+        if status is not None:
+            status.source = st.source
+            status.tag = st.tag
+            status._payload = st._payload
+        return req.data
+
+    def sendrecv(self, comm, payload, dest, source=ANY_SOURCE, sendtag=0,
+                 recvtag=ANY_TAG, status=None):
+        rreq = self.irecv(comm, source, recvtag)
+        sreq = self.isend(comm, payload, dest, sendtag)
+        self.wait(sreq)
+        st = self.wait(rreq)
+        if status is not None:
+            status.source = st.source
+            status.tag = st.tag
+            status._payload = st._payload
+        return rreq.data
+
+    def waitall(self, reqs):
+        return [self.wait(r) for r in list(reqs)]
+
+    def waitany(self, reqs):
+        reqs = list(reqs)
+        proc = self._proc
+        idx = self._sub(
+            "waitany_block",
+            lambda: proc.engine.pmpi_waitany_block(proc.world_rank, list(reqs)),
+        )
+        return idx, self.wait(reqs[idx])
+
+    def waitsome(self, reqs):
+        reqs = list(reqs)
+        proc = self._proc
+        self._sub(
+            "waitany_block",
+            lambda: proc.engine.pmpi_waitany_block(proc.world_rank, reqs),
+        )
+        indices, statuses = [], []
+        for i, r in enumerate(reqs):
+            if self._sub("chk", lambda r=r: r.state is RequestState.COMPLETE):
+                indices.append(i)
+                statuses.append(self.wait(r))
+        return indices, statuses
+
+    def testall(self, reqs):
+        reqs = list(reqs)
+        if self._sub("chk", lambda: all(r.is_complete for r in reqs)):
+            return True, [self.wait(r) for r in reqs]
+        proc = self._proc
+        self._sub("yield", lambda: proc.engine.pmpi_yield(proc.world_rank))
+        return False, None
+
+    def testsome(self, reqs):
+        reqs = list(reqs)
+        indices, statuses = [], []
+        for i, r in enumerate(reqs):
+            if self._sub("chk", lambda r=r: r.state is RequestState.COMPLETE):
+                indices.append(i)
+                statuses.append(self.wait(r))
+        if not indices:
+            proc = self._proc
+            self._sub("yield", lambda: proc.engine.pmpi_yield(proc.world_rank))
+        return indices, statuses
+
+    # -- everything else (identity, pmpi, wtime, abort, world, flags) -----
+
+    def __getattr__(self, name):
+        return getattr(self._proc, name)
+
+    def __repr__(self) -> str:
+        mode = ("passthrough", "record", "replay")[self._mode]
+        return f"RecordingProc(rank={self._proc.world_rank}, {mode})"
+
+
+# --------------------------------------------------------------------- #
+# snapshot capture                                                       #
+# --------------------------------------------------------------------- #
+
+#: sites a blocked/woken rank can be resumed from (plain completion waits;
+#: re-executing them live repeats no engine side effect)
+_RESUMABLE_SITES = ("wait", "waitany")
+
+
+class Snapshot:
+    """One captured engine state, frozen as pinned-pickle bytes; immutable
+    once built (each restore deserializes a fresh clone out of it)."""
+
+    __slots__ = ("payload", "fingerprint", "nbytes", "capture_seconds", "key", "depth")
+
+    def __init__(self, payload: bytes, fingerprint: str, nbytes: int,
+                 capture_seconds: float):
+        self.payload = payload
+        self.fingerprint = fingerprint
+        self.nbytes = nbytes
+        self.capture_seconds = capture_seconds
+        #: cache key / DFS depth, attached by the owning PrefixCheckpointCache
+        self.key = None
+        self.depth = 0
+
+
+def _pin_list(runtime, views) -> list:
+    """Session-lifetime handles shared by *identity* across the clone
+    boundary: facades, raw Procs, the runtime, tool modules, and the
+    tracer are *referenced* by captured state (``req.proc``, shadow
+    communicators) but are not per-run state.  The list is rebuilt the
+    same way on capture and restore, so a pin's position is its stable
+    persistent id."""
+    pins: list = list(views)
+    for proc in runtime.procs:
+        pins.append(proc)
+        pins.append(proc.pmpi)
+    pins.append(runtime)
+    pins.extend(runtime.stack)
+    if runtime.tracer is not None:
+        pins.append(runtime.tracer)
+    return pins
+
+
+class _PinPickler(pickle.Pickler):
+    """Pickler that swaps pinned live handles for positional ids.
+
+    Pickle is the structured clone here (one ``dumps`` per capture, one
+    ``loads`` per restore) because it is several times faster than
+    ``copy.deepcopy`` on the engine's many-small-objects graph while
+    preserving the same joint-copy identity guarantees via its memo.
+    Anything unpicklable (notably a stray reference to the engine itself,
+    whose locks refuse to serialize) fails loudly — the capture wraps
+    that into :class:`CheckpointUnsupported`."""
+
+    def __init__(self, file, pin_ids: dict):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pin_ids = pin_ids
+
+    def persistent_id(self, obj):
+        return self._pin_ids.get(id(obj))
+
+
+class _PinUnpickler(pickle.Unpickler):
+    def __init__(self, file, pins: list):
+        super().__init__(file)
+        self._pins = pins
+
+    def persistent_load(self, pid):
+        return self._pins[pid]
+
+
+def _freeze(payload, runtime, views) -> bytes:
+    pins = _pin_list(runtime, views)
+    pin_ids = {id(obj): i for i, obj in enumerate(pins)}
+    buf = io.BytesIO()
+    _PinPickler(buf, pin_ids).dump(payload)
+    return buf.getvalue()
+
+
+def _thaw(data: bytes, runtime, views):
+    return _PinUnpickler(io.BytesIO(data), _pin_list(runtime, views)).load()
+
+
+def ineligible_reason(engine, cut_rank: int) -> Optional[str]:
+    """Why the current engine state cannot be captured (None = eligible).
+
+    Caller must hold ``engine._lock``."""
+    if engine.mode != "run_to_block":
+        return f"scheduling mode {engine.mode!r}"
+    if engine._fatal is not None:
+        return "job already failing"
+    if engine._current != cut_rank:
+        return f"rank {cut_rank} does not hold the token"
+    for st in engine._ranks:
+        if st.rank == cut_rank:
+            continue
+        if st.state is RankRunState.DONE:
+            continue
+        if st.rank not in engine._started:
+            continue  # prestart: restores re-run its full lifecycle
+        if st.state not in (RankRunState.BLOCKED, RankRunState.RUNNABLE):
+            return f"rank {st.rank} unexpectedly {st.state.value}"
+        if st.site not in _RESUMABLE_SITES or st.blocks_this_call != 1:
+            return (
+                f"rank {st.rank} parked in non-resumable site "
+                f"{st.site or 'unknown'!r} (blocks={st.blocks_this_call})"
+            )
+    return None
+
+
+def capture_snapshot(runtime, views) -> Snapshot:
+    """Clone the full engine state at the current decision point.
+
+    Called from the token-holding rank's thread, just before it delegates
+    the decision (flip) operation.  Raises :class:`CheckpointIneligible`
+    when the state is not capturable, :class:`CheckpointUnsupported` when
+    cloning fails.
+    """
+    engine = runtime.engine
+    cut_rank = engine._current
+    t0 = time.perf_counter()
+    with engine._lock:
+        reason = ineligible_reason(engine, cut_rank)
+        if reason is not None:
+            raise CheckpointIneligible(reason)
+        module_state = {}
+        for module in runtime.stack:
+            state = module.snapshot_state()
+            if state is NotImplemented:
+                raise CheckpointUnsupported(
+                    f"tool module {module.name!r} has no snapshot support"
+                )
+            module_state[module.name] = state
+        fingerprint = state_fingerprint(engine, runtime._returns)
+        payload = {
+            "mail": engine._mail,
+            "collectives": engine._collectives,
+            "coll_done": engine._coll_done,
+            "contexts": engine.contexts,
+            "next_ctx": engine._next_ctx,
+            "current": engine._current,
+            "stats": engine.stats,
+            "clocks": engine.clocks,
+            "central": engine.central,
+            "policy": engine.policy,
+            "started": set(engine._started),
+            "rank_states": [
+                (st.state, st.describe, st.site) for st in engine._ranks
+            ],
+            "modules": module_state,
+            "logs": [list(v._entries) for v in views],
+            "returns": dict(runtime._returns),
+            "proc_flags": [(p.initialized, p.finalized) for p in runtime.procs],
+            "env_uid": envelope_ids_mark(),
+            "req_uid": request_ids_mark(),
+        }
+        # One joint serialization: identity linkage between logged requests
+        # and the requests inside mailboxes/collectives/module state must
+        # survive into the clone (two separate copies would split them).
+        try:
+            frozen = _freeze(payload, runtime, views)
+        except CheckpointError:
+            raise
+        except Exception as e:  # noqa: BLE001 - any clone failure => demote
+            raise CheckpointUnsupported(
+                f"engine state is not cloneable: {type(e).__name__}: {e}"
+            ) from e
+    snap = Snapshot(
+        payload=frozen,
+        fingerprint=fingerprint,
+        nbytes=len(frozen),
+        capture_seconds=time.perf_counter() - t0,
+    )
+    return snap
+
+
+def install_snapshot(runtime, snap: Snapshot) -> dict[int, str]:
+    """Rebuild the runtime's engine from ``snap`` (restore side).
+
+    Returns the per-rank resume kinds (``done`` / ``mid`` / ``prestart``)
+    and leaves the runtime primed for :meth:`Runtime.run`.  The snapshot
+    itself stays pristine — deserializing thaws a fresh clone, so one
+    cached snapshot serves any number of restores.
+    """
+    t0 = time.perf_counter()
+    views = runtime.views
+    if views is None:
+        raise CheckpointRestoreError("runtime has no recording views installed")
+    thawed = _thaw(snap.payload, runtime, views)
+
+    engine = MessageEngine(
+        runtime.nprocs,
+        cost_model=runtime._cost_model,
+        policy=runtime._policy_spec,
+        mode=runtime._mode,
+        indexed=runtime._indexed,
+        tracer=None,
+    )
+    engine._mail = thawed["mail"]
+    engine._collectives = thawed["collectives"]
+    engine._coll_done = thawed["coll_done"]
+    engine.contexts = thawed["contexts"]
+    engine._next_ctx = thawed["next_ctx"]
+    engine._current = thawed["current"]
+    engine.stats = thawed["stats"]
+    engine.clocks = thawed["clocks"]
+    engine.central = thawed["central"]
+    engine.policy = thawed["policy"]
+    engine._started = set(thawed["started"])
+    engine.world = engine.contexts[WORLD_CTX]
+
+    kinds: dict[int, str] = {}
+    reentering: set[int] = set()
+    for rank, (state, describe, site) in enumerate(thawed["rank_states"]):
+        st = engine._ranks[rank]
+        st.state = state
+        st.describe = describe
+        st.site = site
+        st.ready_fn = None
+        st.blocks_this_call = 0
+        if state is RankRunState.DONE:
+            kinds[rank] = "done"
+        elif rank not in engine._started:
+            kinds[rank] = "prestart"
+        else:
+            kinds[rank] = "mid"
+            if state in (RankRunState.BLOCKED, RankRunState.RUNNABLE):
+                reentering.add(rank)
+    engine._reentering = reentering
+
+    runtime.engine = engine
+    for proc, (initialized, finalized) in zip(runtime.procs, thawed["proc_flags"]):
+        proc.rebind(engine)  # resets flags; reinstate the captured ones
+        proc.initialized = initialized
+        proc.finalized = finalized
+    for module in runtime.stack:
+        module.restore_state(thawed["modules"][module.name], runtime)
+    set_envelope_ids(thawed["env_uid"])
+    set_request_ids(thawed["req_uid"])
+
+    logs = thawed["logs"]
+    for rank, view in enumerate(views):
+        if kinds[rank] == "mid":
+            view.start_replay(logs[rank])
+        else:
+            view.set_passthrough()
+
+    runtime._returns = dict(thawed["returns"])
+    runtime._errors = {}
+    runtime._restored = kinds
+    runtime._ran = False
+
+    fp = state_fingerprint(engine, runtime._returns)
+    if fp != snap.fingerprint:
+        raise CheckpointRestoreError(
+            f"restored state fingerprint {fp} != captured {snap.fingerprint}"
+        )
+    runtime._restore_seconds = time.perf_counter() - t0
+    return kinds
+
+
+def state_fingerprint(engine, returns) -> str:
+    """Cheap digest of the deterministic engine state, used to validate
+    that a restore reproduced the capture exactly.  Covers scheduling,
+    clocks, counters, and queue shapes — not payload bytes (payloads are
+    cloned by the same machinery that cloned everything hashed here)."""
+    h = hashlib.blake2b(digest_size=16)
+
+    def put(*parts) -> None:
+        for p in parts:
+            h.update(repr(p).encode())
+            h.update(b"\x1f")
+
+    put(engine._current, engine._next_ctx, sorted(engine._started))
+    put(tuple(engine.clocks.vtimes))
+    s = engine.stats
+    put(s.envelopes, s.bytes, s.collectives, s.matches, s.wildcard_matches)
+    for st in engine._ranks:
+        put(st.state.name, st.describe, st.site)
+    for mb in engine._mail:
+        put(mb.pending_counts())
+        put(tuple(env.uid for env in mb.unexpected))
+    put(sorted(engine._collectives.keys()), sorted(engine._coll_done.items()))
+    put(sorted(engine.contexts.keys()))
+    put(sorted(returns.keys()))
+    return h.hexdigest()
+
+
+def estimate_bytes(obj) -> int:
+    """Approximate deep size of a snapshot payload (cache budgeting).
+
+    Iterative traversal with cycle protection; numpy arrays report their
+    buffer size, everything else ``sys.getsizeof``."""
+    seen: set[int] = set()
+    stack = [obj]
+    total = 0
+    while stack:
+        o = stack.pop()
+        oid = id(o)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        nbytes = getattr(o, "nbytes", None)
+        if isinstance(nbytes, int) and type(o).__module__.startswith("numpy"):
+            total += nbytes + 128  # array header estimate
+            continue
+        try:
+            total += sys.getsizeof(o)
+        except TypeError:  # pragma: no cover - exotic objects
+            total += 64
+        if isinstance(o, dict):
+            stack.extend(o.keys())
+            stack.extend(o.values())
+        elif isinstance(o, (list, tuple, set, frozenset)):
+            stack.extend(o)
+        else:
+            d = getattr(o, "__dict__", None)
+            if d is not None:
+                stack.append(d)
+            slots = getattr(type(o), "__slots__", None)
+            if slots:
+                for name in slots:
+                    v = getattr(o, name, None)
+                    if v is not None:
+                        stack.append(v)
+    return total
+
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointIneligible",
+    "CheckpointUnsupported",
+    "CheckpointRestoreError",
+    "CheckpointDivergence",
+    "RecordingProc",
+    "Snapshot",
+    "capture_snapshot",
+    "install_snapshot",
+    "ineligible_reason",
+    "state_fingerprint",
+    "estimate_bytes",
+]

@@ -140,9 +140,15 @@ class CampaignTelemetry:
     def record_executor(self, stats: dict) -> None:
         """Gauge the replay executor's final accounting under ``exec.*``.
         Counter-backed keys are skipped when the executor shared this
-        registry (they are already present as ``exec.`` counters)."""
+        registry (they are already present as ``exec.`` counters).  The
+        nested ``checkpoint`` dict (prefix-checkpoint cache accounting)
+        is flattened to ``exec.checkpoint_*`` gauges."""
         have = set(self.metrics.snapshot()["counters"])
         for key, value in (stats or {}).items():
+            if key == "checkpoint" and isinstance(value, dict):
+                for ck, cv in value.items():
+                    self.metrics.gauge(f"exec.checkpoint_{ck}").set(cv)
+                continue
             counter_name = _EXEC_COUNTER_NAMES.get(key)
             if counter_name is not None and counter_name in have:
                 continue
@@ -161,12 +167,22 @@ class CampaignTelemetry:
         if self._recent_walls and queued:
             recent = self._recent_walls[-20:]
             eta = queued * (sum(recent) / len(recent))
+        checkpoint = None
+        ckpt_fn = getattr(executor, "checkpoint_stats", None)
+        if ckpt_fn is not None:
+            try:
+                ckpt = ckpt_fn()
+            except Exception:  # pragma: no cover - heartbeat must not raise
+                ckpt = None
+            if ckpt and ckpt.get("enabled"):
+                checkpoint = (ckpt.get("hits", 0), ckpt.get("misses", 0))
         self.progress.tick(
             completed=completed,
             queued=queued,
             frontier_depth=gstats.get("path_length", 0),
             cache_hit_rate=rate,
             eta_seconds=eta,
+            checkpoint=checkpoint,
             force=force,
         )
 

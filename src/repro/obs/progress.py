@@ -52,8 +52,12 @@ class ProgressReporter:
     def tick(self, completed: int, queued: int, frontier_depth: int,
              cache_hit_rate: Optional[float] = None,
              eta_seconds: Optional[float] = None,
+             checkpoint: Optional[tuple] = None,
              force: bool = False) -> bool:
-        """Emit a heartbeat if due; returns whether a line was written."""
+        """Emit a heartbeat if due; returns whether a line was written.
+
+        ``checkpoint`` is an optional ``(hits, misses)`` pair from the
+        prefix-checkpoint cache, shown as ``ckpt 12/3 h/m``."""
         now = self._clock()
         if not force and now - self._last < self.interval:
             return False
@@ -64,6 +68,8 @@ class ProgressReporter:
         ]
         if cache_hit_rate is not None:
             parts.append(f"cache {cache_hit_rate * 100:.0f}% hit")
+        if checkpoint is not None:
+            parts.append(f"ckpt {checkpoint[0]}/{checkpoint[1]} h/m")
         parts.append(f"{_fmt_seconds(now - self._t0)} elapsed")
         if eta_seconds is not None:
             parts.append(f"eta ~{_fmt_seconds(eta_seconds)}")

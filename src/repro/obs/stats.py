@@ -60,6 +60,20 @@ def render_report_summary(payload: dict) -> str:
     counters = metrics.get("counters") or {}
     gauges = metrics.get("gauges") or {}
     histograms = metrics.get("histograms") or {}
+    if gauges.get("exec.checkpoint_enabled"):
+        hits = gauges.get("exec.checkpoint_hits") or 0
+        misses = gauges.get("exec.checkpoint_misses") or 0
+        rate = hits / (hits + misses) if (hits + misses) else 0.0
+        held = gauges.get("exec.checkpoint_bytes_held") or 0
+        lines.append(
+            f"  prefix checkpoints: {hits} hits / {misses} misses "
+            f"({rate * 100:.0f}% hit), {held / 1024:.0f} KiB held"
+        )
+    elif gauges.get("exec.checkpoint_demote_reason"):
+        lines.append(
+            "  prefix checkpoints: demoted "
+            f"({gauges['exec.checkpoint_demote_reason']})"
+        )
     if counters:
         lines += ["", "counters", _rule()]
         for name, value in counters.items():
