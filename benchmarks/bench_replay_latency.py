@@ -71,7 +71,9 @@ from benchmarks._util import FULL, REPO_ROOT, one_shot, record, write_bench_json
 BASELINE_REF = "ad906714525439dfdbec9c6bc5ca14e6a8597185"
 
 #: Repetitions per leg; the reported p50 is the minimum across reps.
-REPS = 3 if FULL or os.environ.get("REPRO_BENCH_SMOKE") != "1" else 1
+#: Full mode takes 5: the checkpoint-speedup gate compares two legs of the
+#: same tree, so both must reach their load-independent floor.
+REPS = 5 if FULL or os.environ.get("REPRO_BENCH_SMOKE") != "1" else 1
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -152,7 +154,8 @@ if ck and ck.get("enabled"):
     out["checkpoint"] = {
         name: ck.get(name)
         for name in ("hits", "misses", "hit_rate", "entries",
-                     "bytes_held", "restore_ms", "capture_ms")
+                     "bytes_held", "restore_ms", "capture_ms",
+                     "ancestor_hits", "suffix_captures", "depth_hits")
     }
 print("REPLAY_LATENCY_JSON:" + json.dumps(out))
 """
@@ -294,8 +297,22 @@ def _report(data: dict) -> list[str]:
             lines.append(
                 f"matmult checkpoint cache: {ck['hits']} hits / "
                 f"{ck['misses']} misses ({ck['hit_rate'] * 100:.0f}% hit), "
+                f"{ck.get('ancestor_hits') or 0} via ancestor scan, "
+                f"{ck.get('suffix_captures') or 0} in-suffix captures, "
                 f"{ck['bytes_held'] / 1024:.0f} KiB held"
             )
+            depths = ck.get("depth_hits") or {}
+            total = sum(depths.values())
+            if total:
+                lines.append(
+                    "matmult per-depth hit rates: "
+                    + " ".join(
+                        f"d{d}:{n} ({100 * n / total:.0f}%)"
+                        for d, n in sorted(
+                            depths.items(), key=lambda kv: int(kv[0])
+                        )
+                    )
+                )
     return lines
 
 
@@ -315,12 +332,22 @@ def _check(data: dict) -> None:
             f"expected >=2x per-replay p50 on matmult, got "
             f"{mm['p50_speedup']:.2f}x"
         )
-    # checkpointed replay must not cost latency vs. full re-execution
-    # (5% tolerance absorbs scheduler jitter between the two subprocesses)
-    assert mm["after"]["p50_ms"] <= mm["after_no_checkpoint"]["p50_ms"] * 1.05, (
-        f"checkpointed p50 {mm['after']['p50_ms']:.2f}ms exceeds "
-        f"non-checkpointed {mm['after_no_checkpoint']['p50_ms']:.2f}ms"
-    )
+    if SMOKE:
+        # smoke legs run once each under CI jitter: only guard against a
+        # checkpoint path that *costs* latency vs. full re-execution
+        assert mm["after"]["p50_ms"] <= mm["after_no_checkpoint"]["p50_ms"] * 1.05, (
+            f"checkpointed p50 {mm['after']['p50_ms']:.2f}ms exceeds "
+            f"non-checkpointed {mm['after_no_checkpoint']['p50_ms']:.2f}ms"
+        )
+    else:
+        # full mode: deep sharing (ancestor restores + in-suffix
+        # captures) must buy a real wall-clock win, not break even
+        assert mm["checkpoint_speedup"] >= 1.25, (
+            f"expected >=1.25x checkpoint speedup on matmult, got "
+            f"{mm['checkpoint_speedup']:.2f}x "
+            f"(after {mm['after']['p50_ms']:.2f}ms vs no-ckpt "
+            f"{mm['after_no_checkpoint']['p50_ms']:.2f}ms)"
+        )
     assert mm["after"].get("checkpoint"), "checkpoint arm recorded no cache stats"
     assert mm["after"]["checkpoint"]["hits"] > 0, (
         "checkpoint arm never restored a snapshot"

@@ -396,25 +396,45 @@ class ReplayExecutor:
         self, batch: Sequence[EpochDecisions]
     ) -> list[list[EpochDecisions]]:
         """Partition a wave into checkpoint-affinity groups: schedules that
-        share a prefix checkpoint run back-to-back on one worker (the
+        can share a prefix checkpoint run back-to-back on one worker (the
         first records the snapshot, the rest restore it from that worker's
-        session cache).  Without affinity every schedule is its own group."""
+        session cache).  Sharing is hierarchical: exact siblings (same
+        key) always land together, and a schedule whose pre-flip prefix
+        extends — or is extended by — another group's prefix joins that
+        group too, so ancestor restores and in-run snapshots pay off
+        within one worker's session.  Deterministic in wave order.
+        Without affinity every schedule is its own group."""
         if not self.checkpoint_affinity:
             return [[d] for d in batch]
         from repro.dampi.checkpoint import checkpoint_key
 
-        groups: dict = {}
+        by_key: dict = {}
+        #: merged groups with the prefix item-sets they contain
+        keyed: list[tuple[list, list]] = []
         order: list[list[EpochDecisions]] = []
         for d in batch:
             k = checkpoint_key(d)
             if k is None:
                 order.append([d])
                 continue
-            g = groups.get(k)
-            if g is None:
-                g = []
-                groups[k] = g
+            g = by_key.get(k)
+            if g is not None:
+                g.append(d)
+                continue
+            rest = frozenset(k[1])
+            merged = None
+            for cand, rsets in keyed:
+                if any(rest <= r or r <= rest for r in rsets):
+                    merged = (cand, rsets)
+                    break
+            if merged is None:
+                g, rsets = [], []
+                keyed.append((g, rsets))
                 order.append(g)
+            else:
+                g, rsets = merged
+            rsets.append(rest)
+            by_key[k] = g
             g.append(d)
         return order
 
@@ -542,19 +562,24 @@ class ReplayExecutor:
             k: 0
             for k in (
                 "hits", "misses", "evictions", "skips",
+                "ancestor_hits", "suffix_captures",
                 "entries", "bytes_held",
             )
         }
         agg["restore_ms"] = 0.0
         agg["capture_ms"] = 0.0
+        depth_hits: dict = {}
         enabled = False
         demote_reasons = []
         for s in sources:
             for k in agg:
                 agg[k] += s.get(k, 0)
+            for d, n in (s.get("depth_hits") or {}).items():
+                depth_hits[d] = depth_hits.get(d, 0) + n
             enabled = enabled or bool(s.get("enabled"))
             if s.get("demote_reason"):
                 demote_reasons.append(s["demote_reason"])
+        agg["depth_hits"] = {k: depth_hits[k] for k in sorted(depth_hits, key=int)}
         total = agg["hits"] + agg["misses"]
         agg["hit_rate"] = (agg["hits"] / total) if total else 0.0
         agg["enabled"] = enabled

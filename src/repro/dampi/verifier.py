@@ -15,7 +15,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from repro.dampi.checkpoint import PrefixCheckpointCache, checkpoint_key
+from repro.dampi.checkpoint import (
+    PrefixCheckpointCache,
+    capture_key,
+    checkpoint_key,
+)
 from repro.dampi.clock_module import DampiClockModule
 from repro.dampi.config import DampiConfig
 from repro.dampi.decisions import EpochDecisions
@@ -101,6 +105,13 @@ class _ReplaySession:
         self.checkpoint_interval = cfg.checkpoint_interval
         self._ckpt_stats_final: Optional[dict] = None
         self._faults = verifier._faults
+        #: deep sharing (ancestor restores + in-run/in-suffix snapshots)
+        #: requires the match policy to be stateless: a restored run skips
+        #: the prefix's policy consultations, so a policy carrying hidden
+        #: state (a seeded RNG) would diverge from a full run.  Stateful
+        #: policies keep the sibling-only scheme, whose producer and
+        #: consumer force bit-identical prefixes.
+        self._deep_sharing = False
         if cfg.prefix_checkpoints:
             reason = self._checkpoint_unsupported_reason(verifier)
             if reason is None:
@@ -109,6 +120,11 @@ class _ReplaySession:
                 )
                 self.checkpoint_cache = PrefixCheckpointCache(
                     cfg.checkpoint_cache_mb * 1024 * 1024
+                )
+                from repro.mpi.matching import make_policy
+
+                self._deep_sharing = bool(
+                    getattr(make_policy(cfg.policy), "stateless", False)
                 )
             else:
                 # mirror the executor's single-CPU jobs demotion: log and
@@ -146,13 +162,22 @@ class _ReplaySession:
         if key in cache.ineligible:
             cache.skips += 1
             return self._run_full(decisions)
-        snap = cache.get(key)
+        snap = (
+            cache.find(decisions) if self._deep_sharing else cache.get(key)
+        )
         if snap is not None:
-            out = self._run_restored(snap, decisions)
+            out = self._run_restored(snap, decisions, key)
             if out is not None:
                 return out
             # the restore/replay failed and demoted checkpointing
             return self._run_full(decisions)
+        if self._deep_sharing:
+            # record on every miss: in-run captures make the whole path a
+            # future dict hit, so a miss is the one chance to amortize it
+            # (the expect_siblings hint no longer gates anything — it can
+            # go stale across dist steal-splits)
+            cache.misses += 1
+            return self._run_recording(decisions, key)
         if not decisions.expect_siblings:
             # the generator knows no other schedule shares this prefix
             # right now — recording would almost surely be wasted
@@ -173,25 +198,30 @@ class _ReplaySession:
         self, decisions: EpochDecisions, key
     ) -> tuple[RunResult, RunTrace]:
         """Full replay that snapshots the engine at its own flip point, so
-        the flipped node's sibling schedules can resume from there."""
+        the flipped node's sibling schedules can resume from there.  Under
+        deep sharing the run additionally snapshots at every eligible
+        wildcard post — before and after the flip — so future first-visit
+        schedules anywhere along this path dict-hit their own flip."""
         self.runtime.recycle()
         self.clock.decisions = decisions
-        flip_rank, flip_lc = decisions.flip
         views = self.runtime.views
         for view in views:
             view.start_record()
+        if self._deep_sharing:
+            self._arm_triggers(decisions, key)
+        else:
+            flip_rank, flip_lc = decisions.flip
+            session = self
 
-        session = self
+            def trigger(view, _rank=flip_rank, _lc=flip_lc, _key=key):
+                # pre-tick clock identifies the epoch, exactly as the clock
+                # module's irecv/probe hooks key it
+                if session.clock._state[_rank].clock.time != _lc:
+                    return
+                view._trigger = None
+                session._capture(_key)
 
-        def trigger(view, _rank=flip_rank, _lc=flip_lc, _key=key):
-            # pre-tick clock identifies the epoch, exactly as the clock
-            # module's irecv/probe hooks key it
-            if session.clock._state[_rank].clock.time != _lc:
-                return
-            view._trigger = None
-            session._capture(_key)
-
-        views[flip_rank]._trigger = trigger
+            views[flip_rank]._trigger = trigger
         try:
             pool = None if self.pool.broken else self.pool
             result = self.runtime.run(pool=pool)
@@ -200,9 +230,51 @@ class _ReplaySession:
                 view.set_passthrough()
         return result, result.artifacts["dampi"]
 
-    def _capture(self, key) -> None:
-        """Runs on the flip rank's thread, just before the flip operation
-        is delegated to the engine."""
+    def _arm_triggers(self, decisions: EpochDecisions, key) -> None:
+        """Deep-sharing capture triggers on every rank's view: each
+        wildcard post is a potential snapshot point.  The flip itself is
+        stored under the schedule's sibling key (always captured); other
+        posts go under :func:`capture_key` of the state decided so far,
+        gated by ``checkpoint_interval`` and deduplicated against the
+        cache.  The triggers run on rank threads that hold the engine
+        token, so cache access needs no extra locking."""
+        session = self
+        flip = decisions.flip
+        interval = self.checkpoint_interval
+        for rank, view in enumerate(self.runtime.views):
+
+            def trigger(view, _rank=rank):
+                cache = session.checkpoint_cache
+                if cache is None:  # demoted mid-run
+                    view._trigger = None
+                    return
+                # pre-tick clock identifies the epoch about to be decided
+                k = (_rank, session.clock._state[_rank].clock.time)
+                if k == flip:
+                    if key not in cache and key not in cache.ineligible:
+                        session._capture(key, deep=True)
+                    return
+                meta = session.clock.capture_meta()
+                if meta["natural"]:
+                    # a naturally-decided epoch makes the snapshot
+                    # unusable by every later schedule (the explorer
+                    # forces the whole path, and forced-vs-natural posts
+                    # are not observably equivalent) — and capturing it
+                    # would burn the cache key for a fully-forced
+                    # producer
+                    return
+                if len(meta["decided"]) % interval != 0:
+                    return
+                ckey = capture_key(k, meta["decided"])
+                if ckey in cache or ckey in cache.ineligible:
+                    return
+                session._capture(ckey, deep=True, suffix=True)
+
+            view._trigger = trigger
+
+    def _capture(self, key, deep: bool = False, suffix: bool = False) -> None:
+        """Runs on a rank's thread, just before a wildcard operation is
+        delegated to the engine."""
         cache = self.checkpoint_cache
         if cache is None:
             return
@@ -217,39 +289,71 @@ class _ReplaySession:
             return
         cache.capture_seconds += snap.capture_seconds
         snap.key = key
-        snap.depth = len(key[1]) + 1
+        if deep:
+            # decided-state metadata makes the snapshot eligible for
+            # ancestor restores (checkpoint.snapshot_usable)
+            snap.meta = self.clock.capture_meta()
+            snap.depth = len(snap.meta["decided"])
+        else:
+            snap.depth = len(key[1]) + 1
         cache.put(key, snap)
-        # the logs up to the cut are inside the snapshot — stop paying
-        # record overhead for the rest of this run
-        for view in self.runtime.views:
-            if view.recording:
-                view.set_passthrough()
+        if suffix:
+            cache.suffix_captures += 1
+        if not deep:
+            # sibling-only mode: the logs up to the cut are inside the
+            # snapshot — stop paying record overhead for the rest of this
+            # run (deep sharing keeps recording for later capture points)
+            for view in self.runtime.views:
+                if view.recording:
+                    view.set_passthrough()
 
     def _run_restored(
-        self, snap, decisions: EpochDecisions
+        self, snap, decisions: EpochDecisions, key
     ) -> Optional[tuple[RunResult, RunTrace]]:
-        """Resume a sibling schedule from its prefix checkpoint; None means
-        the attempt failed (checkpointing has been demoted — run full)."""
+        """Resume a schedule from a prefix checkpoint; None means the
+        attempt failed (checkpointing has been demoted — run full).
+
+        An *exact* hit (the snapshot was cut at this schedule's own flip)
+        replays the logged prefix and executes only the suffix.  An
+        *ancestor* hit restores a shallower snapshot, rebases the clock
+        module's guidance onto this schedule's decision map, and — deep
+        sharing only — keeps recording past the cut so the novel suffix
+        yields further snapshots."""
         cache = self.checkpoint_cache
+        exact = getattr(snap, "key", None) == key
+        record_after = self._deep_sharing and not exact
         if self._faults:
             self._faults.fire("restore", decisions.flip)
         try:
-            self.runtime.recycle(checkpoint=snap)
+            self.runtime.recycle(checkpoint=snap, record_after=record_after)
         except Exception as e:  # noqa: BLE001 - any restore failure => demote
             self._demote_checkpoints(
                 f"restore failed: {type(e).__name__}: {e}"
             )
             return None
-        self.clock.decisions = decisions
-        pool = None if self.pool.broken else self.pool
-        result = self.runtime.run(pool=pool)
+        if self._deep_sharing:
+            # the snapshot's guidance state belongs to the producer's
+            # schedule; repoint every rank at this schedule's decisions
+            self.clock.rebase_decisions(decisions)
+        else:
+            self.clock.decisions = decisions
+        if record_after:
+            self._arm_triggers(decisions, key)
+        try:
+            pool = None if self.pool.broken else self.pool
+            result = self.runtime.run(pool=pool)
+        finally:
+            if record_after:
+                for view in self.runtime.views or ():
+                    view.set_passthrough()
         for exc in result.errors.values():
             if isinstance(exc, CheckpointError):
-                # the restored run was not actually a sibling of the
-                # recording — an invariant violation, not a user bug
+                # the restored run's prefix was not actually compatible
+                # with the recording — an invariant violation, not a user
+                # bug
                 self._demote_checkpoints(f"replay diverged: {exc}")
                 return None
-        cache.hits += 1
+        cache.record_hit(snap)
         cache.restore_seconds += self.runtime._restore_seconds
         return result, result.artifacts["dampi"]
 

@@ -33,12 +33,16 @@ session and one ``PrefixCheckpointCache``) for its whole life, so a
 lease whose root is a *sibling* of an earlier lease's root — same flip
 node, different alternative — restores from the checkpoint that earlier
 lease recorded instead of re-executing the shared prefix from
-``MPI_Init``.  The coordinator dedups sibling leases from the same
+``MPI_Init``.  Deep sharing widens this across leases: recording runs
+snapshot at every eligible wildcard post, so a lease rooted anywhere
+along a path an earlier lease recorded dict-hits its own flip point,
+and the ancestor scan covers leases whose prefixes merely extend a
+recorded one.  The coordinator dedups sibling leases from the same
 discovery, so they frequently land on the same worker back-to-back.
 Cache counters ship upstream in the ``bye`` frame as ``ckpt.*`` metrics
 — their own nondeterministic namespace rather than ``exec.*``, because
-``exec.*`` totals are worker-count-invariant while cache hits depend on
-which worker a sibling lease lands on.
+``exec.*`` totals are worker-count-invariant while cache hits (and the
+ancestor/suffix variants) depend on which worker a lease lands on.
 
 Work stealing: when the coordinator sends ``steal``, the worker splits
 the deepest open node of its current subtree
@@ -202,7 +206,10 @@ class _ShardWorker:
         ckpt = self.verifier.checkpoint_stats()
         if not ckpt:
             return
-        for name in ("hits", "misses", "evictions", "skips"):
+        for name in (
+            "hits", "misses", "evictions", "skips",
+            "ancestor_hits", "suffix_captures",
+        ):
             n = int(ckpt.get(name) or 0)
             if n:
                 self.metrics.inc(f"ckpt.{name}", n)

@@ -290,6 +290,9 @@ class Runtime:
         #: per-rank resume kinds after a checkpoint restore, else None
         self._restored: Optional[dict[int, str]] = None
         self._restore_seconds = 0.0
+        #: engine shell reused across checkpoint restores (every run-state
+        #: field is overwritten at install time; see install_snapshot)
+        self._restore_engine = None
 
     def install_views(self, views) -> None:
         """Install per-rank RecordingProc facades (see repro.mpi.snapshot).
@@ -301,7 +304,7 @@ class Runtime:
         for proc, view in zip(self.procs, self.views):
             proc.install_view(view)
 
-    def recycle(self, checkpoint=None) -> None:
+    def recycle(self, checkpoint=None, record_after: bool = False) -> None:
         """Reset a finished Runtime for another run (session reuse).
 
         Builds a fresh :class:`MessageEngine` from the original
@@ -317,6 +320,9 @@ class Runtime:
         of a cold engine, rebuild the engine *from the checkpoint* so the
         next :meth:`run` resumes at the captured decision point
         (prefix-sharing replay).  Requires :meth:`install_views`.
+        ``record_after``: facades keep recording once their replay log is
+        exhausted (ancestor restores capture further snapshots inside the
+        novel suffix); only meaningful with ``checkpoint``.
 
         Caveat: the match policy is rebuilt from the original *spec*.  If
         a policy **instance** was passed (e.g. a seeded
@@ -326,7 +332,7 @@ class Runtime:
         string spec instead, or don't recycle.
         """
         if checkpoint is not None:
-            self.restore(checkpoint)
+            self.restore(checkpoint, record_after=record_after)
             return
         # a failed restore leaves _ran False but _restored set — the engine
         # holds partially-installed checkpoint state and must be rebuilt
@@ -360,12 +366,12 @@ class Runtime:
             raise RuntimeError("snapshot() requires install_views()")
         return capture_snapshot(self, self.views)
 
-    def restore(self, snap) -> None:
+    def restore(self, snap, record_after: bool = False) -> None:
         """Prime this Runtime to resume from ``snap`` on the next
         :meth:`run` (the checkpoint-accepting arm of :meth:`recycle`)."""
         from repro.mpi.snapshot import install_snapshot
 
-        install_snapshot(self, snap)
+        install_snapshot(self, snap, record_after=record_after)
 
     def run(
         self,

@@ -36,6 +36,7 @@ import sys
 import time
 from typing import Any, Callable, Optional
 
+from repro.clocks.lamport import LamportStamp
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.engine import MessageEngine, RankRunState, WORLD_CTX
 from repro.mpi.message import envelope_ids_mark, set_envelope_ids
@@ -101,7 +102,7 @@ class RecordingProc:
     the cloned module/engine state instead.
     """
 
-    __slots__ = ("_proc", "_mode", "_entries", "_pos", "_trigger")
+    __slots__ = ("_proc", "_mode", "_entries", "_pos", "_trigger", "_record_after")
 
     def __init__(self, proc):
         self._proc = proc
@@ -111,6 +112,9 @@ class RecordingProc:
         #: armed by the session on recording runs: called with this view
         #: before any wildcard receive/probe is delegated (cut detection)
         self._trigger: Optional[Callable] = None
+        #: replay mode only: on log exhaustion, switch to record (keeping
+        #: the fast-forwarded prefix as the log head) instead of passthrough
+        self._record_after = False
 
     # -- mode control (session/restore side) ------------------------------
 
@@ -119,17 +123,20 @@ class RecordingProc:
         self._entries = []
         self._pos = 0
         self._trigger = None
+        self._record_after = False
 
     def start_record(self) -> None:
         self._mode = _RECORD
         self._entries = []
         self._pos = 0
+        self._record_after = False
 
-    def start_replay(self, entries: list) -> None:
+    def start_replay(self, entries: list, record_after: bool = False) -> None:
         self._mode = _REPLAY
         self._entries = entries
         self._pos = 0
         self._trigger = None
+        self._record_after = record_after
 
     @property
     def recording(self) -> bool:
@@ -156,8 +163,22 @@ class RecordingProc:
         pos = self._pos
         if pos >= len(entries):
             # log exhausted: re-enter the engine and run live from here on
-            self._mode = _PASSTHROUGH
             proc = self._proc
+            if self._record_after:
+                # keep the fast-forwarded prefix as the log head and
+                # extend it live, so a later in-suffix capture snapshots
+                # a complete log for this rank
+                self._mode = _RECORD
+                proc.engine.reenter_gate(proc.world_rank)
+                proc.engine.begin_call(proc.world_rank)
+                try:
+                    value = thunk()
+                except BaseException as e:  # noqa: BLE001 - log and re-raise
+                    self._entries.append((tag, True, e))
+                    raise
+                self._entries.append((tag, False, value))
+                return value
+            self._mode = _PASSTHROUGH
             proc.engine.reenter_gate(proc.world_rank)
             return thunk()
         logged_tag, raised, value = entries[pos]
@@ -171,99 +192,231 @@ class RecordingProc:
             raise value
         return value
 
+    def _replay_next(self, tag: str):
+        """Replay fast path: the callers' mode checks guarantee the log is
+        not exhausted, so no thunk needs building."""
+        logged_tag, raised, value = self._entries[self._pos]
+        if logged_tag != tag:
+            raise CheckpointDivergence(
+                f"rank {self._proc.world_rank}: replay issued {tag!r} where "
+                f"the recording logged {logged_tag!r} (entry {self._pos})"
+            )
+        self._pos += 1
+        if raised:
+            raise value
+        return value
+
     def _maybe_capture(self, source: int) -> None:
+        # Fire only while *live recording*: during replay fast-forward the
+        # other ranks' clocks are frozen mid-prefix and the engine token is
+        # not held, so a capture attempt would wrongly memoize the key as
+        # ineligible.
         trigger = self._trigger
-        if trigger is not None and source == ANY_SOURCE:
+        if trigger is not None and self._mode == _RECORD and source == ANY_SOURCE:
             trigger(self)
 
     # -- primitives (one engine interaction each) -------------------------
+    #
+    # Each primitive short-circuits the two hot modes before building the
+    # `_sub` thunk: passthrough delegates directly (the steady state — the
+    # facade tax must stay near zero for non-checkpointed runs), and
+    # replay-with-log-remaining returns the logged value without a lambda
+    # allocation.  Only record mode and replay exhaustion take `_sub`.
 
     def isend(self, comm, payload, dest, tag=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.isend(comm, payload, dest, tag)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("isend")
         return self._sub("isend", lambda: self._proc.isend(comm, payload, dest, tag))
 
     def issend(self, comm, payload, dest, tag=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.issend(comm, payload, dest, tag)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("issend")
         return self._sub("issend", lambda: self._proc.issend(comm, payload, dest, tag))
 
     def irecv(self, comm, source=ANY_SOURCE, tag=ANY_TAG, max_count=None):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.irecv(comm, source, tag, max_count)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("irecv")
         self._maybe_capture(source)
         return self._sub(
             "irecv", lambda: self._proc.irecv(comm, source, tag, max_count)
         )
 
     def wait(self, req):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.wait(req)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("wait")
         return self._sub("wait", lambda: self._proc.wait(req))
 
     def test(self, req):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.test(req)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("test")
         return self._sub("test", lambda: self._proc.test(req))
 
     def probe(self, comm, source=ANY_SOURCE, tag=ANY_TAG):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.probe(comm, source, tag)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("probe")
         self._maybe_capture(source)
         return self._sub("probe", lambda: self._proc.probe(comm, source, tag))
 
     def iprobe(self, comm, source=ANY_SOURCE, tag=ANY_TAG):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.iprobe(comm, source, tag)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("iprobe")
         self._maybe_capture(source)
         return self._sub("iprobe", lambda: self._proc.iprobe(comm, source, tag))
 
     def barrier(self, comm):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.barrier(comm)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("barrier")
         return self._sub("barrier", lambda: self._proc.barrier(comm))
 
     def ibarrier(self, comm):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.ibarrier(comm)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("ibarrier")
         return self._sub("ibarrier", lambda: self._proc.ibarrier(comm))
 
     def ibcast(self, comm, payload=None, root=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.ibcast(comm, payload, root)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("ibcast")
         return self._sub("ibcast", lambda: self._proc.ibcast(comm, payload, root))
 
     def iallreduce(self, comm, payload, op=None):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.iallreduce(comm, payload, op)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("iallreduce")
         return self._sub("iallreduce", lambda: self._proc.iallreduce(comm, payload, op))
 
     def bcast(self, comm, payload=None, root=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.bcast(comm, payload, root)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("bcast")
         return self._sub("bcast", lambda: self._proc.bcast(comm, payload, root))
 
     def reduce(self, comm, payload, op=None, root=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.reduce(comm, payload, op, root)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("reduce")
         return self._sub("reduce", lambda: self._proc.reduce(comm, payload, op, root))
 
     def allreduce(self, comm, payload, op=None):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.allreduce(comm, payload, op)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("allreduce")
         return self._sub("allreduce", lambda: self._proc.allreduce(comm, payload, op))
 
     def gather(self, comm, payload, root=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.gather(comm, payload, root)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("gather")
         return self._sub("gather", lambda: self._proc.gather(comm, payload, root))
 
     def scatter(self, comm, payloads=None, root=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.scatter(comm, payloads, root)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("scatter")
         return self._sub("scatter", lambda: self._proc.scatter(comm, payloads, root))
 
     def allgather(self, comm, payload):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.allgather(comm, payload)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("allgather")
         return self._sub("allgather", lambda: self._proc.allgather(comm, payload))
 
     def alltoall(self, comm, payloads):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.alltoall(comm, payloads)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("alltoall")
         return self._sub("alltoall", lambda: self._proc.alltoall(comm, payloads))
 
     def reduce_scatter(self, comm, payloads, op=None):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.reduce_scatter(comm, payloads, op)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("reduce_scatter")
         return self._sub(
             "reduce_scatter", lambda: self._proc.reduce_scatter(comm, payloads, op)
         )
 
     def scan(self, comm, payload, op=None):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.scan(comm, payload, op)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("scan")
         return self._sub("scan", lambda: self._proc.scan(comm, payload, op))
 
     def comm_dup(self, comm):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.comm_dup(comm)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("comm_dup")
         return self._sub("comm_dup", lambda: self._proc.comm_dup(comm))
 
     def comm_split(self, comm, color, key=0):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.comm_split(comm, color, key)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("comm_split")
         return self._sub("comm_split", lambda: self._proc.comm_split(comm, color, key))
 
     def comm_free(self, comm):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.comm_free(comm)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("comm_free")
         return self._sub("comm_free", lambda: self._proc.comm_free(comm))
 
     def request_free(self, req):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.request_free(req)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("request_free")
         return self._sub("request_free", lambda: self._proc.request_free(req))
 
     def pcontrol(self, level):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.pcontrol(level)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("pcontrol")
         return self._sub("pcontrol", lambda: self._proc.pcontrol(level))
 
     def compute(self, seconds):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.compute(seconds)
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("compute")
         return self._sub("compute", lambda: self._proc.compute(seconds))
 
     def finalize(self):
+        if self._mode == _PASSTHROUGH:
+            return self._proc.finalize()
+        if self._mode == _REPLAY and self._pos < len(self._entries):
+            return self._replay_next("finalize")
         return self._sub("finalize", lambda: self._proc.finalize())
 
     # -- composites, decomposed exactly like the PMPI bottoms -------------
@@ -368,17 +521,30 @@ class Snapshot:
     """One captured engine state, frozen as pinned-pickle bytes; immutable
     once built (each restore deserializes a fresh clone out of it)."""
 
-    __slots__ = ("payload", "fingerprint", "nbytes", "capture_seconds", "key", "depth")
+    __slots__ = (
+        "payload", "fingerprint", "nbytes", "capture_seconds", "key", "depth",
+        "pins_extra", "meta", "validated",
+    )
 
     def __init__(self, payload: bytes, fingerprint: str, nbytes: int,
-                 capture_seconds: float):
+                 capture_seconds: float, pins_extra: tuple = ()):
         self.payload = payload
         self.fingerprint = fingerprint
         self.nbytes = nbytes
         self.capture_seconds = capture_seconds
-        #: cache key / DFS depth, attached by the owning PrefixCheckpointCache
+        #: bulk payload values (numpy arrays, large bytes) shared by
+        #: reference instead of re-serialized per capture/restore —
+        #: kept alive here, resolved positionally after the static pins
+        self.pins_extra = pins_extra
+        #: cache key / depth / decision metadata, attached by the replay
+        #: session when the snapshot enters the PrefixCheckpointCache
         self.key = None
         self.depth = 0
+        self.meta: Optional[dict] = None
+        #: a restore reproduced the captured fingerprint once; the payload
+        #: is immutable and thaw is deterministic, so later restores of the
+        #: same snapshot skip re-validation
+        self.validated = False
 
 
 def _pin_list(runtime, views) -> list:
@@ -399,6 +565,27 @@ def _pin_list(runtime, views) -> list:
     return pins
 
 
+def _bulk_pin(obj) -> bool:
+    """Leaf values worth sharing by reference across the clone boundary
+    instead of re-serializing per capture and per restore: message
+    payload arrays, large byte blobs, and Lamport stamps.  Safe because
+    the engine already aliases payloads across ranks
+    (``req.data = env.payload``) — in-place mutation of a received
+    buffer was never supported — and because the snapshot keeps the
+    pinned objects alive for its own lifetime.  ``bytes`` and
+    ``LamportStamp`` are immutable outright (stamps are the most
+    numerous leaves in a payload: every epoch record and potential match
+    carries one); numpy is looked up in ``sys.modules`` so the check
+    costs nothing when the program never imported it."""
+    t = type(obj)
+    if t is LamportStamp:
+        return True
+    if t is bytes:
+        return len(obj) >= 256
+    np = sys.modules.get("numpy")
+    return np is not None and t is np.ndarray
+
+
 class _PinPickler(pickle.Pickler):
     """Pickler that swaps pinned live handles for positional ids.
 
@@ -406,16 +593,27 @@ class _PinPickler(pickle.Pickler):
     ``loads`` per restore) because it is several times faster than
     ``copy.deepcopy`` on the engine's many-small-objects graph while
     preserving the same joint-copy identity guarantees via its memo.
+    Beyond the static session-lifetime pins, bulk payload values
+    (:func:`_bulk_pin`) are pinned *dynamically*: the first encounter
+    assigns the next positional id and appends the object to the shared
+    pin list, so identity (payload aliasing between a logged request and
+    the mailbox copy) is preserved without serializing the bytes at all.
     Anything unpicklable (notably a stray reference to the engine itself,
     whose locks refuse to serialize) fails loudly — the capture wraps
     that into :class:`CheckpointUnsupported`."""
 
-    def __init__(self, file, pin_ids: dict):
+    def __init__(self, file, pins: list):
         super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
-        self._pin_ids = pin_ids
+        self._pins = pins  # mutated: dynamically pinned bulk values append
+        self._pin_ids = {id(obj): i for i, obj in enumerate(pins)}
 
     def persistent_id(self, obj):
-        return self._pin_ids.get(id(obj))
+        pid = self._pin_ids.get(id(obj))
+        if pid is None and _bulk_pin(obj):
+            pid = len(self._pins)
+            self._pin_ids[id(obj)] = pid
+            self._pins.append(obj)
+        return pid
 
 
 class _PinUnpickler(pickle.Unpickler):
@@ -427,16 +625,21 @@ class _PinUnpickler(pickle.Unpickler):
         return self._pins[pid]
 
 
-def _freeze(payload, runtime, views) -> bytes:
+def _freeze(payload, runtime, views) -> tuple[bytes, tuple]:
+    """Serialize ``payload``; returns the frozen bytes plus the bulk
+    values that were dynamically pinned out of it (the snapshot must keep
+    those alive and hand them back to :func:`_thaw`)."""
     pins = _pin_list(runtime, views)
-    pin_ids = {id(obj): i for i, obj in enumerate(pins)}
+    n_static = len(pins)
     buf = io.BytesIO()
-    _PinPickler(buf, pin_ids).dump(payload)
-    return buf.getvalue()
+    _PinPickler(buf, pins).dump(payload)
+    return buf.getvalue(), tuple(pins[n_static:])
 
 
-def _thaw(data: bytes, runtime, views):
-    return _PinUnpickler(io.BytesIO(data), _pin_list(runtime, views)).load()
+def _thaw(data: bytes, runtime, views, pins_extra: tuple = ()):
+    pins = _pin_list(runtime, views)
+    pins.extend(pins_extra)
+    return _PinUnpickler(io.BytesIO(data), pins).load()
 
 
 def ineligible_reason(engine, cut_rank: int) -> Optional[str]:
@@ -506,7 +709,15 @@ def capture_snapshot(runtime, views) -> Snapshot:
                 (st.state, st.describe, st.site) for st in engine._ranks
             ],
             "modules": module_state,
-            "logs": [list(v._entries) for v in views],
+            # a DONE rank's log is never replayed (restores send it
+            # straight to passthrough), so don't serialize it: at deep
+            # cuts the finished ranks' logs are most of the payload
+            "logs": [
+                []
+                if engine._ranks[rank].state is RankRunState.DONE
+                else list(v._entries)
+                for rank, v in enumerate(views)
+            ],
             "returns": dict(runtime._returns),
             "proc_flags": [(p.initialized, p.finalized) for p in runtime.procs],
             "env_uid": envelope_ids_mark(),
@@ -516,44 +727,62 @@ def capture_snapshot(runtime, views) -> Snapshot:
         # and the requests inside mailboxes/collectives/module state must
         # survive into the clone (two separate copies would split them).
         try:
-            frozen = _freeze(payload, runtime, views)
+            frozen, pins_extra = _freeze(payload, runtime, views)
         except CheckpointError:
             raise
         except Exception as e:  # noqa: BLE001 - any clone failure => demote
             raise CheckpointUnsupported(
                 f"engine state is not cloneable: {type(e).__name__}: {e}"
             ) from e
+    # nbytes counts the serialized clone only: dynamically pinned bulk
+    # payloads are *shared* with the live runtime (and with every other
+    # snapshot along the same prefix), not owned per-snapshot.
     snap = Snapshot(
         payload=frozen,
         fingerprint=fingerprint,
         nbytes=len(frozen),
         capture_seconds=time.perf_counter() - t0,
+        pins_extra=pins_extra,
     )
     return snap
 
 
-def install_snapshot(runtime, snap: Snapshot) -> dict[int, str]:
+def install_snapshot(runtime, snap: Snapshot, record_after: bool = False) -> dict[int, str]:
     """Rebuild the runtime's engine from ``snap`` (restore side).
 
     Returns the per-rank resume kinds (``done`` / ``mid`` / ``prestart``)
     and leaves the runtime primed for :meth:`Runtime.run`.  The snapshot
     itself stays pristine — deserializing thaws a fresh clone, so one
     cached snapshot serves any number of restores.
+
+    With ``record_after`` the restored run keeps recording: mid ranks
+    extend their fast-forwarded logs live once exhausted, prestart ranks
+    record from their first call — so the session can capture further
+    snapshots inside the suffix of a run that itself started from one.
     """
     t0 = time.perf_counter()
     views = runtime.views
     if views is None:
         raise CheckpointRestoreError("runtime has no recording views installed")
-    thawed = _thaw(snap.payload, runtime, views)
+    thawed = _thaw(snap.payload, runtime, views, snap.pins_extra)
 
-    engine = MessageEngine(
-        runtime.nprocs,
-        cost_model=runtime._cost_model,
-        policy=runtime._policy_spec,
-        mode=runtime._mode,
-        indexed=runtime._indexed,
-        tracer=None,
-    )
+    # Reuse one engine shell across restores: every field that carries
+    # run state is overwritten from the thawed payload (or reset) below,
+    # and the constructor's work — rank states, mailboxes, the world
+    # context — is all discarded, so rebuilding it per restore is pure
+    # overhead on the hot path.
+    engine = getattr(runtime, "_restore_engine", None)
+    if engine is None:
+        engine = MessageEngine(
+            runtime.nprocs,
+            cost_model=runtime._cost_model,
+            policy=runtime._policy_spec,
+            mode=runtime._mode,
+            indexed=runtime._indexed,
+            tracer=None,
+        )
+        runtime._restore_engine = engine
+    engine._fatal = None
     engine._mail = thawed["mail"]
     engine._collectives = thawed["collectives"]
     engine._coll_done = thawed["coll_done"]
@@ -599,7 +828,9 @@ def install_snapshot(runtime, snap: Snapshot) -> dict[int, str]:
     logs = thawed["logs"]
     for rank, view in enumerate(views):
         if kinds[rank] == "mid":
-            view.start_replay(logs[rank])
+            view.start_replay(logs[rank], record_after=record_after)
+        elif kinds[rank] == "prestart" and record_after:
+            view.start_record()
         else:
             view.set_passthrough()
 
@@ -608,11 +839,13 @@ def install_snapshot(runtime, snap: Snapshot) -> dict[int, str]:
     runtime._restored = kinds
     runtime._ran = False
 
-    fp = state_fingerprint(engine, runtime._returns)
-    if fp != snap.fingerprint:
-        raise CheckpointRestoreError(
-            f"restored state fingerprint {fp} != captured {snap.fingerprint}"
-        )
+    if not getattr(snap, "validated", False):
+        fp = state_fingerprint(engine, runtime._returns)
+        if fp != snap.fingerprint:
+            raise CheckpointRestoreError(
+                f"restored state fingerprint {fp} != captured {snap.fingerprint}"
+            )
+        snap.validated = True
     runtime._restore_seconds = time.perf_counter() - t0
     return kinds
 

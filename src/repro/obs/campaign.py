@@ -147,6 +147,10 @@ class CampaignTelemetry:
         for key, value in (stats or {}).items():
             if key == "checkpoint" and isinstance(value, dict):
                 for ck, cv in value.items():
+                    if isinstance(cv, dict):
+                        # per-depth breakdowns stay in the stats dict;
+                        # gauges hold scalars only
+                        continue
                     self.metrics.gauge(f"exec.checkpoint_{ck}").set(cv)
                 continue
             counter_name = _EXEC_COUNTER_NAMES.get(key)

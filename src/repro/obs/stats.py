@@ -65,9 +65,12 @@ def render_report_summary(payload: dict) -> str:
         misses = gauges.get("exec.checkpoint_misses") or 0
         rate = hits / (hits + misses) if (hits + misses) else 0.0
         held = gauges.get("exec.checkpoint_bytes_held") or 0
+        entries = gauges.get("exec.checkpoint_entries") or 0
+        evictions = gauges.get("exec.checkpoint_evictions") or 0
         lines.append(
             f"  prefix checkpoints: {hits} hits / {misses} misses "
-            f"({rate * 100:.0f}% hit), {held / 1024:.0f} KiB held"
+            f"({rate * 100:.0f}% hit), {entries} entries / "
+            f"{held / 1024:.0f} KiB held, {evictions} evicted"
         )
     elif gauges.get("exec.checkpoint_demote_reason"):
         lines.append(

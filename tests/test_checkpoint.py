@@ -16,7 +16,12 @@ import os
 
 import pytest
 
-from repro.dampi.checkpoint import PrefixCheckpointCache, checkpoint_key
+from repro.dampi.checkpoint import (
+    PrefixCheckpointCache,
+    capture_key,
+    checkpoint_key,
+    snapshot_usable,
+)
 from repro.dampi.config import DampiConfig
 from repro.dampi.decisions import EpochDecisions
 from repro.dampi.faults import FAULT_EXIT_CODE
@@ -129,7 +134,143 @@ class TestPrefixCheckpointCache:
         assert set(s) >= {
             "hits", "misses", "evictions", "skips", "entries",
             "bytes_held", "budget_bytes", "restore_ms", "capture_ms",
+            "ancestor_hits", "suffix_captures", "depth_hits",
         }
+
+    def test_depth_hits_bucketed_by_restore_depth(self):
+        cache = PrefixCheckpointCache(100)
+        deep, shallow = _snap(1), _snap(1)
+        deep.depth, shallow.depth = 7, 2
+        cache.record_hit(deep)
+        cache.record_hit(deep)
+        cache.record_hit(shallow)
+        assert cache.stats()["depth_hits"] == {"2": 1, "7": 2}
+
+
+def _meta_snap(n: int, at, decided: dict, natural=None, pending=()) -> Snapshot:
+    """A synthetic deep-sharing snapshot: capture metadata attached the
+    way the replay session attaches it."""
+    s = _snap(n)
+    s.key = capture_key(at, decided)
+    s.depth = len(decided)
+    s.meta = {
+        "decided": dict(decided),
+        "natural": dict(natural or {}),
+        "pending": tuple(pending),
+    }
+    return s
+
+
+class TestHierarchicalFind:
+    """`find` resolves the deepest usable snapshot: exact key first, then
+    the ancestor scan over capture metadata."""
+
+    CONSUMER = EpochDecisions(
+        forced={(0, 0): 1, (0, 1): 2, (0, 2): 2, (0, 3): 3}, flip=(0, 3)
+    )
+
+    def test_exact_key_preferred_over_ancestors(self):
+        cache = PrefixCheckpointCache(1000)
+        exact = _meta_snap(10, (0, 3), {(0, 0): 1, (0, 1): 2, (0, 2): 2})
+        anc = _meta_snap(10, (0, 2), {(0, 0): 1, (0, 1): 2})
+        cache.put(anc.key, anc)
+        cache.put(exact.key, exact)
+        assert cache.find(self.CONSUMER) is exact
+        assert cache.ancestor_hits == 0
+
+    def test_deepest_usable_ancestor_wins(self):
+        cache = PrefixCheckpointCache(1000)
+        d1 = _meta_snap(10, (0, 1), {(0, 0): 1})
+        d2 = _meta_snap(10, (0, 2), {(0, 0): 1, (0, 1): 2})
+        cache.put(d1.key, d1)
+        cache.put(d2.key, d2)
+        assert cache.find(self.CONSUMER) is d2
+        assert cache.ancestor_hits == 1
+
+    def test_ancestor_with_wrong_forced_value_rejected(self):
+        cache = PrefixCheckpointCache(1000)
+        wrong = _meta_snap(10, (0, 2), {(0, 0): 1, (0, 1): 9})
+        cache.put(wrong.key, wrong)
+        assert cache.find(self.CONSUMER) is None
+
+    def test_naturally_decided_epoch_forced_by_consumer_rejected(self):
+        # A natural wildcard post and a forced (directed) post of the
+        # same epoch are NOT observably equivalent through the piggyback
+        # layer, even at the same matched value — the snapshot must not
+        # serve a schedule that forces what it matched naturally.
+        snap = _meta_snap(
+            10, (0, 2), {(0, 0): 1, (0, 1): 2}, natural={(0, 1): "recv"}
+        )
+        assert not snapshot_usable(snap, self.CONSUMER)
+        cache = PrefixCheckpointCache(1000)
+        cache.put(snap.key, snap)
+        assert cache.find(self.CONSUMER) is None
+
+    def test_naturally_decided_epoch_left_natural_is_fine(self):
+        consumer = EpochDecisions(forced={(0, 0): 1, (0, 3): 3}, flip=(0, 3))
+        snap = _meta_snap(
+            10, (0, 2), {(0, 0): 1, (1, 4): 2}, natural={(1, 4): "recv"}
+        )
+        assert snapshot_usable(snap, consumer)
+
+    def test_pending_epoch_in_forced_map_rejected(self):
+        snap = _meta_snap(
+            10, (0, 2), {(0, 0): 1, (0, 1): 2}, pending=((0, 2),)
+        )
+        assert not snapshot_usable(snap, self.CONSUMER)
+
+    def test_flip_already_decided_rejected(self):
+        snap = _meta_snap(
+            10, (0, 3), {(0, 0): 1, (0, 1): 2, (0, 2): 2, (0, 3): 3}
+        )
+        assert not snapshot_usable(snap, self.CONSUMER)
+
+    def test_meta_less_snapshot_keeps_exact_key_semantics(self):
+        # pre-deep-sharing snapshots (no meta) serve their exact key but
+        # never the ancestor scan
+        cache = PrefixCheckpointCache(1000)
+        legacy = _snap(10)
+        key = checkpoint_key(self.CONSUMER)
+        cache.put(key, legacy)
+        assert cache.find(self.CONSUMER) is legacy
+        deeper = EpochDecisions(
+            forced={**self.CONSUMER.forced, (0, 4): 1}, flip=(0, 4)
+        )
+        assert cache.find(deeper) is None
+
+    def test_find_touches_lru_position(self):
+        cache = PrefixCheckpointCache(100)
+        a = _meta_snap(40, (0, 3), {(0, 0): 1, (0, 1): 2, (0, 2): 2})
+        b = _meta_snap(40, (9, 9), {(8, 8): 1, (7, 7): 1, (6, 6): 1})
+        cache.put(a.key, a)
+        cache.put(b.key, b)
+        cache.find(self.CONSUMER)  # touches a; b is now LRU-oldest
+        c = _meta_snap(40, (5, 5), {(4, 4): 1, (3, 3): 1, (2, 2): 1})
+        cache.put(c.key, c)
+        assert b.key not in cache
+        assert a.key in cache and c.key in cache
+
+    def test_eviction_prefers_keeping_deep_prefixes(self):
+        cache = PrefixCheckpointCache(100)
+        deep = _meta_snap(40, (0, 5), {(0, i): 1 for i in range(5)})
+        shallow = _meta_snap(40, (9, 9), {(8, 8): 1})
+        cache.put(deep.key, deep)
+        cache.put(shallow.key, shallow)
+        newer = _meta_snap(40, (5, 5), {(4, 4): 1, (3, 3): 1})
+        cache.put(newer.key, newer)
+        # deep is older than shallow, but the shallow one is evicted
+        assert shallow.key not in cache
+        assert deep.key in cache and newer.key in cache
+        assert cache.evictions == 1
+
+    def test_ineligible_memo_survives_key_scheme_migration(self):
+        # sibling-scheme keys (flip, sorted-forced-minus-flip) and deep
+        # capture keys (at, sorted-decided) are the same tuple shape, so
+        # a key poisoned under either scheme stays poisoned for both
+        d = EpochDecisions(forced={(0, 0): 1, (0, 1): 2}, flip=(0, 1))
+        cache = PrefixCheckpointCache(1000)
+        cache.ineligible.add(checkpoint_key(d))
+        assert capture_key(d.flip, {(0, 0): 1}) in cache.ineligible
 
 
 # --------------------------------------------------------------------- #
@@ -200,6 +341,37 @@ class TestJobsAndDistIdentity:
         counters = rep.telemetry["metrics"]["counters"]
         # sibling leases landing on the same worker restored from cache
         assert counters.get("ckpt.hits", 0) > 0
+
+
+class TestStealSplitHint:
+    """Satellite: ``expect_siblings`` goes stale across dist
+    steal-splits (the victim's sibling set is rewritten after leases are
+    cut), so a ``False`` hint must never suppress a deep-sharing
+    recording — every miss records, in-run captures amortize it."""
+
+    def test_no_siblings_hint_still_records(self):
+        from repro.dampi.explorer import ScheduleGenerator
+
+        v = DampiVerifier(
+            matmult_program, 4, DampiConfig(), kwargs=dict(MATMULT_KW)
+        )
+        try:
+            _, trace = v.run_once(None)  # cold self run
+            explorer = ScheduleGenerator()
+            explorer.seed(trace)
+            d = explorer.next_decisions()
+            assert d is not None and d.flip is not None
+            hinted = EpochDecisions(
+                forced=dict(d.forced), flip=d.flip, expect_siblings=False
+            )
+            v.run_once(hinted)  # second run: persistent session records
+            sess = v._session
+            assert sess is not None
+            assert sess.checkpoint_cache is not None
+            assert checkpoint_key(hinted) in sess.checkpoint_cache
+            assert sess.checkpoint_cache.misses == 1
+        finally:
+            v.close()
 
 
 # --------------------------------------------------------------------- #
