@@ -159,6 +159,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign event stream as JSONL; implies tracing",
     )
     v.add_argument(
+        "--revt-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the campaign event stream in the compact binary "
+        ".revt encoding (read it back with 'repro stats'); implies "
+        "tracing",
+    )
+    v.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable event tracing (tracing is on by default — the "
+        "ring-buffered tracer costs <5%% — and feeds the report's "
+        "telemetry block and any --*-out event stream)",
+    )
+    v.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="record full event payloads for 1 in N replays "
+        "(deterministic, keyed off the schedule signature; exact "
+        "event counters are kept for every run regardless; default 1 "
+        "= every run)",
+    )
+    v.add_argument(
         "--json-out",
         type=Path,
         default=None,
@@ -198,13 +224,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser(
         "stats",
-        help="summarize a verification's telemetry (report JSON or "
-        "events JSONL from 'verify')",
+        help="summarize a verification's telemetry (report JSON, events "
+        "JSONL, binary .revt stream, or a --journal-dir)",
     )
     s.add_argument(
         "file",
         type=Path,
-        help="a --json-out report or an --events-out JSONL file",
+        help="a --json-out report, an --events-out JSONL file, a "
+        "--revt-out binary stream, or a --journal-dir directory",
+    )
+    s.add_argument(
+        "--follow",
+        action="store_true",
+        help="with a --journal-dir: poll the journal and print one "
+        "progress line per interval until the campaign completes "
+        "(live introspection of a running verification)",
+    )
+    s.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="--follow poll interval (default 2s)",
     )
 
     e = sub.add_parser(
@@ -376,6 +417,11 @@ def _jobs_arg(args):
 def cmd_verify(args) -> int:
     program = resolve_program(args.program)
     kwargs = json.loads(args.kwargs)
+    if args.no_trace and (args.trace_out or args.events_out or args.revt_out):
+        raise SystemExit(
+            "--no-trace conflicts with --trace-out/--events-out/--revt-out "
+            "(event exports need the tracer)"
+        )
     config = DampiConfig(
         clock_impl=args.clock,
         piggyback=args.piggyback,
@@ -387,7 +433,10 @@ def cmd_verify(args) -> int:
         enable_monitor=not args.no_monitor,
         enable_leak_check=not args.no_leak_check,
         artifacts_dir=args.artifacts_dir,
-        trace_events=bool(args.trace_out or args.events_out),
+        # tracing is the default: the ring-buffered tracer holds campaign
+        # overhead under the 5% budget (benchmarks/bench_obs_overhead.py)
+        trace_events=not args.no_trace,
+        trace_sample_every=max(1, args.trace_sample),
         progress_interval_seconds=args.progress,
         fault_plan=args.fault_plan,
         prefix_checkpoints=not args.no_prefix_checkpoints,
@@ -433,6 +482,15 @@ def cmd_verify(args) -> int:
             header={"program": args.program, "nprocs": args.nprocs},
         )
         print(f"  event log saved: {args.events_out}")
+    if args.revt_out is not None:
+        from repro.obs.binary import write_events_binary
+
+        write_events_binary(
+            report.events,
+            args.revt_out,
+            header={"program": args.program, "nprocs": args.nprocs},
+        )
+        print(f"  binary event stream saved: {args.revt_out}")
     if args.json_out is not None:
         args.json_out.write_text(report.to_json() + "\n")
         print(f"  report JSON saved: {args.json_out}")
@@ -449,22 +507,80 @@ def cmd_verify(args) -> int:
     return 1 if report.errors else 0
 
 
-def cmd_stats(args) -> int:
-    """Render a campaign summary from a report JSON or an events JSONL.
+def _stats_follow(args) -> int:
+    """Poll a journal directory, one progress line per interval, until
+    the campaign writes its ``end`` record."""
+    import time as _time
 
-    The file kind is auto-detected: a report is one JSON object with a
-    ``telemetry`` key; an event log is line-delimited JSON with a header
-    line (see :mod:`repro.obs.export`)."""
-    from repro.obs.export import JSONL_FORMAT, read_events_jsonl
-    from repro.obs.stats import render_events_summary, render_report_summary
+    from repro.obs.stats import (
+        JournalStatsError,
+        journal_follow_line,
+        journal_progress,
+        render_journal_summary,
+    )
 
     try:
-        text = args.file.read_text()
+        while True:
+            progress = journal_progress(args.file)
+            print(journal_follow_line(progress), flush=True)
+            if progress["complete"]:
+                break
+            _time.sleep(max(0.1, args.interval))
+    except JournalStatsError as e:
+        raise SystemExit(str(e)) from e
+    except KeyboardInterrupt:
+        print("(stopped following; campaign still running)")
+        return 0
+    print()
+    print(render_journal_summary(progress))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Render a campaign summary from any verify artifact.
+
+    The input kind is auto-detected: a directory is a journal; a file
+    starting with the ``.revt`` magic is a binary event stream; a single
+    JSON object with a ``telemetry`` key is a report; anything else is
+    tried as an events JSONL (line-delimited JSON with a header line,
+    see :mod:`repro.obs.export`)."""
+    from repro.obs.binary import BINARY_MAGIC, read_events_binary
+    from repro.obs.export import JSONL_FORMAT, read_events_jsonl
+    from repro.obs.stats import (
+        JournalStatsError,
+        journal_progress,
+        render_events_summary,
+        render_journal_summary,
+        render_report_summary,
+    )
+
+    if args.file.is_dir():
+        if args.follow:
+            return _stats_follow(args)
+        try:
+            print(render_journal_summary(journal_progress(args.file)))
+        except JournalStatsError as e:
+            raise SystemExit(str(e)) from e
+        return 0
+    if args.follow:
+        raise SystemExit(
+            f"--follow needs a --journal-dir directory to tail; "
+            f"{args.file} is a file"
+        )
+    try:
+        raw = args.file.read_bytes()
     except OSError as e:
         raise SystemExit(f"cannot read {args.file}: {e}") from e
+    if raw.startswith(BINARY_MAGIC):
+        try:
+            header, events = read_events_binary(args.file)
+        except ValueError as e:
+            raise SystemExit(f"{args.file}: corrupt .revt stream: {e}") from e
+        print(render_events_summary(header, events))
+        return 0
     payload = None
     try:
-        payload = json.loads(text)
+        payload = json.loads(raw.decode("utf-8", errors="replace"))
     except ValueError:
         pass
     if isinstance(payload, dict) and "telemetry" in payload:
@@ -474,8 +590,9 @@ def cmd_stats(args) -> int:
         header, events = read_events_jsonl(args.file)
     except ValueError as e:
         raise SystemExit(
-            f"{args.file} is neither a report JSON (--json-out) nor an "
-            f"events JSONL (--events-out): {e}"
+            f"{args.file} is neither a report JSON (--json-out), an "
+            f"events JSONL (--events-out), a binary stream (--revt-out), "
+            f"nor a journal directory: {e}"
         ) from e
     if header.get("format") != JSONL_FORMAT:
         raise SystemExit(f"{args.file}: not a {JSONL_FORMAT} file")

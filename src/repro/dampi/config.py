@@ -91,6 +91,15 @@ class DampiConfig:
         Ring-buffer capacity (events) for each tracer when
         ``trace_events`` is on; overflow drops the oldest events and is
         reported in ``telemetry["events"]["dropped"]``.
+    trace_sample_every:
+        Payload sampling for per-run event streams: full payloads are
+        recorded for the self run and for 1-in-N guided replays, chosen
+        deterministically from the schedule signature (so the sampled
+        stream is identical across ``jobs`` settings and is an exact
+        subset of the rate-1 stream).  Every event still increments the
+        exact ``events.*`` counters regardless of the rate, so telemetry
+        totals are invariant under sampling.  1 (default) records every
+        run.
     progress_interval_seconds:
         When set, ``verify()`` writes a live progress heartbeat (runs
         done/queued, frontier depth, dedup-cache hit rate, ETA) to stderr
@@ -158,6 +167,7 @@ class DampiConfig:
     artifacts_dir: Optional[str] = None
     trace_events: bool = False
     trace_buffer: int = 65536
+    trace_sample_every: int = 1
     progress_interval_seconds: Optional[float] = None
     fault_plan: Optional[str] = None
     journal_checkpoint_interval: int = 16
@@ -196,6 +206,8 @@ class DampiConfig:
             raise ValueError("checkpoint_interval must be >= 1")
         if self.trace_buffer < 1:
             raise ValueError("trace_buffer must be >= 1")
+        if self.trace_sample_every < 1:
+            raise ValueError("trace_sample_every must be >= 1")
         if (
             self.progress_interval_seconds is not None
             and self.progress_interval_seconds < 0

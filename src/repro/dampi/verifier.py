@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import logging
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -137,8 +138,9 @@ class _ReplaySession:
         cfg = verifier.config
         if cfg.mode != "run_to_block":
             return f"scheduling mode {cfg.mode!r} is not deterministic"
-        if verifier._run_tracer is not None:
-            return "per-run event tracing is enabled (trace_events)"
+        # per-run event tracing no longer demotes checkpoints: snapshots
+        # carry the tracer's prefix stream (repro.mpi.snapshot), so a
+        # restored run's events and exact counters match a full run
         for module in self.runtime.stack:
             if type(module).snapshot_state is ToolModule.snapshot_state:
                 return f"tool module {module.name!r} has no snapshot support"
@@ -640,6 +642,22 @@ class DampiVerifier:
 
     # -- execution ---------------------------------------------------------------
 
+    def _trace_capture(self, decisions: Optional[EpochDecisions]) -> bool:
+        """Whether this run's event payloads are recorded (deterministic
+        1-in-N sampling keyed off the schedule signature).
+
+        The self run is always captured; guided replays hash their
+        canonical schedule key, so the decision is identical in-process,
+        in pool workers, and across resumes — the rate-N stream is a
+        deterministic subset of the rate-1 stream.  Exact ``events.*``
+        counters are kept either way (see :class:`repro.obs.trace.Tracer`).
+        """
+        n = self.config.trace_sample_every
+        if n <= 1 or decisions is None or decisions.flip is None:
+            return True
+        key = (decisions.flip, tuple(sorted(decisions.forced.items())))
+        return zlib.crc32(repr(key).encode()) % n == 0
+
     def run_once(
         self, decisions: Optional[EpochDecisions] = None
     ) -> tuple[RunResult, RunTrace]:
@@ -658,6 +676,9 @@ class DampiVerifier:
             self._faults.fire(
                 "flip", flip if src is None else (flip[0], flip[1], src)
             )
+        tracer = self._run_tracer
+        if tracer is not None:
+            tracer.capture = self._trace_capture(decisions)
         self._runs_started += 1
         if self._session is not None:
             return self._session.run(decisions)

@@ -88,6 +88,7 @@ from repro.dist.protocol import (
     run_entry,
     send_frame,
     start_reader,
+    unpack_events,
 )
 from repro.dist.worker import worker_main
 from repro.obs.metrics import NONDETERMINISTIC_PREFIXES, MetricsRegistry
@@ -184,6 +185,9 @@ class DistCoordinator:
             )
         self._replayed = 0  # records preloaded from the journal
         self._executed = 0  # fresh records received live
+        #: worker lifecycle events (lease spans, memo hits) shipped
+        #: binary-packed in bye frames, run-relabelled by worker id
+        self._worker_events: list = []
         self._record_count = 0  # every streamed record frame (fault site)
         self._states: dict[int, _WorkerState] = {}  # worker id -> state
         self._by_tag: dict[int, _WorkerState] = {}
@@ -407,6 +411,17 @@ class DistCoordinator:
             snap = frame.get("metrics")
             if snap:
                 self.metrics.merge_snapshot(_filtered_snapshot(snap))
+            blob = frame.get("events")
+            if blob:
+                try:
+                    _header, events = unpack_events(blob)
+                except Exception:
+                    self.metrics.inc("dist.worker_event_decode_errors")
+                else:
+                    self.metrics.inc("dist.worker_events", len(events))
+                    self._worker_events.extend(
+                        ev.with_run(state.id) for ev in events
+                    )
             state.alive = False
 
     def _worker_died(self, state: _WorkerState) -> None:
@@ -645,6 +660,16 @@ class DistCoordinator:
         )
         report.wall_seconds = time.perf_counter() - started
         telemetry.finalize(report)
+        if self._worker_events:
+            # worker lifecycle events (lease spans, memo hits) ride on
+            # worker-local clocks; they join the report stream for export
+            # but stay out of to_json (env-dependent timings)
+            report.events = report.events + sorted(
+                self._worker_events, key=lambda e: (e.ts, e.name)
+            )
+            report.telemetry["events"]["worker_captured"] = len(
+                self._worker_events
+            )
         return report
 
 

@@ -46,6 +46,7 @@ rather than trusting any worker-local ordering.
 
 from __future__ import annotations
 
+import base64
 import json
 import socket
 import threading
@@ -54,6 +55,7 @@ from typing import Optional
 
 from repro.dampi.decisions import EpochDecisions
 from repro.errors import DeadlockError
+from repro.obs.binary import decode_events, encode_events
 
 
 class DistError(RuntimeError):
@@ -96,6 +98,23 @@ def start_reader(sock: socket.socket, tag, events) -> threading.Thread:
     thread = threading.Thread(target=pump, name=f"dist-reader-{tag}", daemon=True)
     thread.start()
     return thread
+
+
+# -- binary event payloads -----------------------------------------------------
+
+
+def pack_events(events, header: Optional[dict] = None) -> str:
+    """Encode an event stream for a JSON frame: the compact ``.revt``
+    binary encoding (struct-packed frames + interned strings), base64'd
+    into an ASCII field.  Workers ship their lifecycle events this way in
+    ``bye`` frames — at campaign scale the binary form is a fraction of
+    the JSONL size and needs no per-event JSON escaping."""
+    return base64.b64encode(encode_events(events, header=header)).decode("ascii")
+
+
+def unpack_events(blob: str):
+    """Decode a :func:`pack_events` field back into ``(header, events)``."""
+    return decode_events(base64.b64decode(blob.encode("ascii")))
 
 
 # -- run entries ---------------------------------------------------------------

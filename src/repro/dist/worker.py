@@ -72,8 +72,15 @@ from typing import Optional
 from repro.dampi.explorer import ScheduleGenerator
 from repro.dampi.journal import CampaignJournal, trace_from_jsonable
 from repro.dampi.verifier import DampiVerifier
-from repro.dist.protocol import decisions_key_str, run_entry, send_frame, start_reader
+from repro.dist.protocol import (
+    decisions_key_str,
+    pack_events,
+    run_entry,
+    send_frame,
+    start_reader,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 
 def shard_config(config):
@@ -122,6 +129,11 @@ class _ShardWorker:
             program, nprocs, self.config, args=args, kwargs=kwargs
         )
         self.metrics = MetricsRegistry()
+        #: worker-lifecycle events (lease start/done, memo hits) shipped
+        #: upstream in the bye frame as a compact binary payload — the
+        #: per-run tracer stays off in shards (see shard_config); these
+        #: events are about the *worker's* walk, not the verified runs
+        self.tracer = Tracer(buffer=4096)
         self.shards_dir = Path(shards_dir) if shards_dir else None
         #: lifetime replay counter — the ``worker:<id>.<seq>`` fault
         #: selector (1-based, memo hits included: "before consuming")
@@ -242,13 +254,17 @@ class _ShardWorker:
             if frame.get("t") == "shutdown":
                 self._alive = False
                 self._fold_checkpoint_metrics()
-                self._send(
-                    {
-                        "t": "bye",
-                        "stats": {"runs": self._runs},
-                        "metrics": self.metrics.snapshot(),
-                    }
-                )
+                bye = {
+                    "t": "bye",
+                    "stats": {"runs": self._runs},
+                    "metrics": self.metrics.snapshot(),
+                }
+                events = self.tracer.drain()
+                if events:
+                    bye["events"] = pack_events(
+                        events, header={"worker": self.worker_id}
+                    )
+                self._send(bye)
                 return
             if frame.get("t") == "lease":
                 self._explore(frame["id"], frame["spec"])
@@ -260,6 +276,7 @@ class _ShardWorker:
         )
         self._gen = gen
         self._lease_id = lease_id_
+        lease_t0 = self.tracer.now()
         decisions = gen.seed_prefix(
             spec["prefix"],
             spec["flip_key"],
@@ -295,6 +312,9 @@ class _ShardWorker:
                 entry = memo.get(kstr)
                 if entry is not None:
                     self.metrics.inc("exec.memo_hits")
+                    self.tracer.instant(
+                        "memo_hit", "dist", run=self._runs, lease=lease_id_
+                    )
                     trace = trace_from_jsonable(entry["trace"])
                 else:
                     result, trace = self.verifier.run_once(decisions)
@@ -317,6 +337,9 @@ class _ShardWorker:
         finally:
             self._gen = None
             self._lease_id = None
+            self.tracer.complete(
+                "lease", "dist", lease_t0, lease=lease_id_, runs=self._runs
+            )
             if journal is not None:
                 journal.close()
         self._send({"t": "lease_done", "id": lease_id_})

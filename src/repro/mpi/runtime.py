@@ -271,7 +271,7 @@ class Runtime:
         self._indexed = indexed
         #: per-run event tracer (:class:`repro.obs.trace.Tracer`) or None;
         #: shared with the engine and the tool modules, reset at the top of
-        #: every run and drained into ``RunResult.artifacts["obs"]``
+        #: every run and collected into ``RunResult.artifacts["obs"]``
         self.tracer = tracer
         self.stack = ToolStack(modules)
         self.engine = MessageEngine(
@@ -396,11 +396,11 @@ class Runtime:
         restored = self._restored is not None
         tracer = self.tracer
         if restored:
-            # resuming mid-run from a checkpoint: tracer is off for such
-            # sessions, uid counters and module state were reinstated by
-            # the restore, and modules must NOT be set up again (that
-            # would wipe the restored prefix state)
-            tracer = None
+            # resuming mid-run from a checkpoint: uid counters, module
+            # state, and the tracer's prefix stream were all reinstated by
+            # the restore (install_snapshot), and modules must NOT be set
+            # up again (that would wipe the restored prefix state)
+            pass
         else:
             if tracer is not None:
                 tracer.reset()  # run-relative timestamps
@@ -476,9 +476,10 @@ class Runtime:
             if artifact is not None:
                 result.artifacts[module.name] = artifact
         if tracer is not None:
-            # the run's event stream travels with the result (pickled back
-            # from replay workers) for campaign-level merging
-            result.artifacts["obs"] = tracer.drain()
+            # the run's raw event records and exact emit counters travel
+            # with the result (pickled back from replay workers) for
+            # campaign-level merging; rendering is deferred to export
+            result.artifacts["obs"] = tracer.collect()
         t3 = time.perf_counter()
         result.phases = {
             "spawn_reset": t1 - t0,

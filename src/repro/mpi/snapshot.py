@@ -722,6 +722,14 @@ def capture_snapshot(runtime, views) -> Snapshot:
             "proc_flags": [(p.initialized, p.finalized) for p in runtime.procs],
             "env_uid": envelope_ids_mark(),
             "req_uid": request_ids_mark(),
+            # the tracer's prefix stream (ring records + exact emit
+            # counters): restores reinstate it so a resumed run's event
+            # stream and telemetry totals match a full re-execution
+            "obs": (
+                runtime.tracer.snapshot_state()
+                if runtime.tracer is not None
+                else None
+            ),
         }
         # One joint serialization: identity linkage between logged requests
         # and the requests inside mailboxes/collectives/module state must
@@ -779,7 +787,7 @@ def install_snapshot(runtime, snap: Snapshot, record_after: bool = False) -> dic
             policy=runtime._policy_spec,
             mode=runtime._mode,
             indexed=runtime._indexed,
-            tracer=None,
+            tracer=runtime.tracer,
         )
         runtime._restore_engine = engine
     engine._fatal = None
@@ -824,6 +832,8 @@ def install_snapshot(runtime, snap: Snapshot, record_after: bool = False) -> dic
         module.restore_state(thawed["modules"][module.name], runtime)
     set_envelope_ids(thawed["env_uid"])
     set_request_ids(thawed["req_uid"])
+    if runtime.tracer is not None:
+        runtime.tracer.restore_state(thawed.get("obs"))
 
     logs = thawed["logs"]
     for rank, view in enumerate(views):

@@ -13,6 +13,9 @@ without perturbing what it measures:
   ``run.*``) are reproducible bit-for-bit across ``--jobs`` settings.
 - :mod:`repro.obs.export` — JSONL event logs and Chrome ``trace_event``
   JSON (chrome://tracing / Perfetto, per-rank lanes).
+- :mod:`repro.obs.binary` — the compact ``.revt`` binary event encoding
+  (struct-packed frames + interned string table), also used on the dist
+  wire for worker bye-frame event payloads.
 - :mod:`repro.obs.progress` — throttled stderr heartbeat for long
   campaigns.
 - :mod:`repro.obs.campaign` — :class:`~repro.obs.campaign.CampaignTelemetry`,
@@ -20,6 +23,12 @@ without perturbing what it measures:
   :meth:`repro.dampi.verifier.DampiVerifier.verify`.
 """
 
+from repro.obs.binary import (
+    decode_events,
+    encode_events,
+    read_events_binary,
+    write_events_binary,
+)
 from repro.obs.campaign import CampaignTelemetry
 from repro.obs.metrics import (
     Counter,
@@ -41,6 +50,10 @@ __all__ = [
     "NULL_TRACER",
     "ProgressReporter",
     "Tracer",
+    "decode_events",
     "deterministic_view",
+    "encode_events",
     "event_signature",
+    "read_events_binary",
+    "write_events_binary",
 ]

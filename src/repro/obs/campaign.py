@@ -76,6 +76,12 @@ class CampaignTelemetry:
         self._vtime_hist = m.histogram("run.vtime_seconds", VTIME_BUCKETS)
         #: recent consume walls, for the heartbeat's ETA
         self._recent_walls: list[float] = []
+        #: ring overflow in per-run tracers, summed across consumed runs
+        #: (campaign-tracer drops are accounted separately in finalize)
+        self._run_dropped = 0
+        #: runs whose full payload stream was recorded (sampling)
+        self._sampled_runs = 0
+        self._sample_every = int(getattr(config, "trace_sample_every", 1) or 1)
 
     # -- run lifecycle --------------------------------------------------------
 
@@ -109,18 +115,36 @@ class CampaignTelemetry:
             self.metrics.counter("pb.deferred_wildcard_recvs").inc(
                 pb.get("deferred_pb_recvs", 0)
             )
+        phases = getattr(result, "phases", None)
+        if phases:
+            # real-seconds per run phase, accumulated campaign-wide; the
+            # wall.* prefix keeps it out of the deterministic view
+            for pname, seconds in phases.items():
+                self.metrics.counter(f"wall.phase.{pname}").inc(seconds)
         wall = 0.0
         if started is not None:
             wall = self._clock() - started[1]
             self._recent_walls.append(wall)
             if len(self._recent_walls) > 64:
                 del self._recent_walls[:-64]
+        # the run's raw event payload (pop: the campaign stream owns it
+        # now).  Exact per-name emit counts fold into events.* counters
+        # whether or not this run's payloads were sampled in, so totals
+        # are invariant under the sampling rate.
+        obs = result.artifacts.pop("obs", None)
+        if obs:
+            for name, n in (obs.get("counts") or {}).items():
+                self.metrics.counter(f"events.{name}").inc(n)
+            self._run_dropped += obs.get("dropped", 0)
+            if obs.get("captured"):
+                self._sampled_runs += 1
         if self.tracer is not None:
             t0 = started[0] if started is not None else self.tracer.now()
-            # merge the run's own events onto the campaign axis (pop: the
-            # campaign stream owns them now)
-            for event in result.artifacts.pop("obs", None) or ():
-                self.tracer.emit(event.with_run(index, ts_offset=t0))
+            if obs and obs.get("records"):
+                # merge the run's records onto the campaign axis — raw
+                # tuples straight into the campaign ring, no Event
+                # round-trip (rendering happens once, in finalize)
+                self.tracer.emit_raw(obs["records"], run=index, ts_offset=t0)
             span_args = {"wildcards": trace.wildcard_count}
             if flip is not None:
                 span_args["flip"] = tuple(flip)
@@ -197,16 +221,24 @@ class CampaignTelemetry:
         stream and the metrics snapshot onto the report (its ``telemetry``
         block, report JSON v3)."""
         self.metrics.gauge("wall.seconds").set(report.wall_seconds)
-        dropped = self.tracer.dropped if self.tracer is not None else 0
+        dropped = self._run_dropped
+        if self.tracer is not None:
+            dropped += self.tracer.dropped
         events = self.tracer.drain() if self.tracer is not None else []
         report.events = events
+        events_block = {
+            "enabled": self.tracer is not None,
+            "captured": len(events),
+            "dropped": dropped,
+        }
+        if self.tracer is not None:
+            # sampling accounting only means something with tracing on;
+            # the disabled block keeps its minimal v3 shape
+            events_block["sample_every"] = self._sample_every
+            events_block["sampled_runs"] = self._sampled_runs
         report.telemetry = {
             "metrics": self.metrics.snapshot(),
-            "events": {
-                "enabled": self.tracer is not None,
-                "captured": len(events),
-                "dropped": dropped,
-            },
+            "events": events_block,
         }
         if self.progress is not None:
             self.progress.final(

@@ -8,6 +8,15 @@ The reporter only formats and writes when the interval has elapsed
 (checked against an injectable monotonic clock so tests don't sleep), so
 an aggressive caller can invoke :meth:`tick` every loop iteration.
 
+Output adapts to the stream.  On a TTY each heartbeat *rewrites one
+line in place* (carriage return + erase-line), so a long campaign holds
+a single status line instead of scrolling hundreds; :meth:`final` (or
+:meth:`close`) terminates it with a newline.  On anything that is not a
+TTY — a pipe, a CI log, a file — no ANSI escapes are emitted and every
+heartbeat is a plain newline-terminated line, so piped output (and
+``--progress`` composed with ``--json-out``) never interleaves with
+control sequences.
+
 Distributed campaigns have *many* producers — every worker streams its
 own progress frames to the coordinator — but interleaving N raw lines
 on one terminal is noise.  :meth:`ProgressReporter.merge_tick` is the
@@ -41,13 +50,38 @@ class ProgressReporter:
         self._t0 = clock()
         self._last = float("-inf")
         self.lines_written = 0
+        #: a TTY gets an in-place rewritten status line; anything else
+        #: (pipe, file, test sink) gets plain newline lines, no ANSI
+        probe = stream if stream is not None else sys.stderr
+        isatty = getattr(probe, "isatty", None)
+        try:
+            self._tty = bool(isatty()) if callable(isatty) else False
+        except (OSError, ValueError):
+            self._tty = False
+        self._open_line = False
 
     def _write(self, line: str) -> None:
         stream = self._stream if self._stream is not None else sys.stderr
-        stream.write(line + "\n")
+        if self._tty:
+            # rewrite the status line in place; newline only at close
+            stream.write("\r\x1b[2K" + line)
+            self._open_line = True
+        else:
+            stream.write(line + "\n")
         flush = getattr(stream, "flush", None)
         if flush is not None:
             flush()
+
+    def close(self) -> None:
+        """Terminate an in-place TTY status line (no-op otherwise), so
+        whatever prints next starts on a fresh line."""
+        if self._open_line:
+            stream = self._stream if self._stream is not None else sys.stderr
+            stream.write("\n")
+            flush = getattr(stream, "flush", None)
+            if flush is not None:
+                flush()
+            self._open_line = False
 
     def tick(self, completed: int, queued: int, frontier_depth: int,
              cache_hit_rate: Optional[float] = None,
@@ -120,10 +154,12 @@ class ProgressReporter:
 
     def final(self, completed: int, errors: int, wall_seconds: float) -> None:
         """Closing line, always written (heartbeats may all have been
-        throttled on a fast campaign)."""
+        throttled on a fast campaign).  Terminates the TTY status line."""
         if self.lines_written == 0 and wall_seconds < self.interval:
+            self.close()
             return
         self._write(
             f"[dampi] done: {completed} runs, {errors} error(s), "
             f"{_fmt_seconds(wall_seconds)}"
         )
+        self.close()

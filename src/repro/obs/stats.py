@@ -1,16 +1,21 @@
 """``repro stats`` rendering: campaign summary tables from telemetry.
 
-Accepts either artifact ``repro verify`` writes:
+Accepts any artifact ``repro verify`` writes:
 
-- a report JSON v3 (``--json-out``) — renders the headline numbers plus
-  the full metrics registry (counters, gauges, histograms);
-- a JSONL event log (``--events-out``) — renders per-category event
-  counts and total span time per event name.
+- a report JSON v3 (``--json-out``) — renders the headline numbers, a
+  per-phase wall-time breakdown (``wall.phase.*``), and the full metrics
+  registry (counters, gauges, histograms);
+- a JSONL event log (``--events-out``) or a binary ``.revt`` stream
+  (``--revt-out``) — renders per-category event counts and total span
+  time per event name;
+- a ``--journal-dir`` directory — renders the journal's progress
+  (``repro stats --follow`` tails it live while the campaign runs).
 """
 
 from __future__ import annotations
 
 from collections import Counter as _TallyCounter
+from pathlib import Path
 from typing import List
 
 from repro.obs.trace import Event
@@ -45,6 +50,51 @@ def _histogram_line(name: str, h: dict) -> List[str]:
     return lines
 
 
+def _phase_lines(counters: dict) -> List[str]:
+    """Per-phase wall-time breakdown from the ``wall.phase.*`` counters
+    (spawn_reset / execute / finish / restore real-seconds, accumulated
+    per consumed run)."""
+    phases = {
+        name[len("wall.phase."):]: value
+        for name, value in counters.items()
+        if name.startswith("wall.phase.") and value
+    }
+    if not phases:
+        return []
+    total = sum(phases.values())
+    lines = [f"  phase wall-time   : {total:.3f} s inside runs"]
+    for pname, seconds in sorted(
+        phases.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        share = seconds / total * 100 if total else 0.0
+        lines.append(f"    {pname:<16} {seconds:>10.3f} s  ({share:4.1f}%)")
+    return lines
+
+
+def _dist_lines(counters: dict, gauges: dict) -> List[str]:
+    """Fleet summary from the ``dist.*`` namespace (empty on serial
+    campaigns)."""
+    if not any(n.startswith("dist.") for n in (*counters, *gauges)):
+        return []
+    workers = gauges.get("dist.workers") or 0
+    records = counters.get("dist.records") or 0
+    deaths = counters.get("dist.worker_deaths") or 0
+    lines = [
+        f"  distributed       : {workers:g} worker(s), {records:g} "
+        f"record(s) streamed, {deaths:g} death(s)"
+    ]
+    steals = counters.get("dist.steals") or 0
+    if steals:
+        lines.append(
+            f"    work stealing    : {steals:g} donation(s), "
+            f"{counters.get('dist.stolen_leases') or 0:g} lease(s) moved"
+        )
+    wev = counters.get("dist.worker_events") or 0
+    if wev:
+        lines.append(f"    worker events    : {wev:g} (binary bye-frames)")
+    return lines
+
+
 def render_report_summary(payload: dict) -> str:
     """Campaign summary table from a report JSON (v3) payload."""
     lines = [
@@ -60,6 +110,8 @@ def render_report_summary(payload: dict) -> str:
     counters = metrics.get("counters") or {}
     gauges = metrics.get("gauges") or {}
     histograms = metrics.get("histograms") or {}
+    lines += _phase_lines(counters)
+    lines += _dist_lines(counters, gauges)
     if gauges.get("exec.checkpoint_enabled"):
         hits = gauges.get("exec.checkpoint_hits") or 0
         misses = gauges.get("exec.checkpoint_misses") or 0
@@ -91,11 +143,18 @@ def render_report_summary(payload: dict) -> str:
             lines.extend(_histogram_line(name, h))
     ev = telemetry.get("events") or {}
     if ev:
-        lines += [
-            "",
+        line = (
             f"events: enabled={ev.get('enabled')} "
-            f"captured={ev.get('captured', 0)} dropped={ev.get('dropped', 0)}",
-        ]
+            f"captured={ev.get('captured', 0)} dropped={ev.get('dropped', 0)}"
+        )
+        if ev.get("sample_every", 1) != 1:
+            line += (
+                f" sample_every={ev['sample_every']} "
+                f"sampled_runs={ev.get('sampled_runs', 0)}"
+            )
+        if ev.get("worker_captured"):
+            line += f" worker_captured={ev['worker_captured']}"
+        lines += ["", line]
     return "\n".join(lines)
 
 
@@ -127,4 +186,135 @@ def render_events_summary(header: dict, events: List[Event]) -> str:
         "",
         f"runs covered: {len(runs)}; ranks covered: {len(ranks)}",
     ]
+    return "\n".join(lines)
+
+
+# -- journal directories -------------------------------------------------------
+
+
+class JournalStatsError(ValueError):
+    """A directory ``repro stats`` cannot summarize as a journal."""
+
+
+def journal_progress(path) -> dict:
+    """One read-only pass over a campaign journal directory, reduced to
+    the numbers a progress line needs.  Works on live (incomplete)
+    journals — this is what ``repro stats --follow`` polls.  Raises
+    :class:`JournalStatsError` for directories that are not campaign
+    journals."""
+    from repro.dampi.journal import CampaignJournal, JournalError
+
+    root = Path(path)
+    if not any(root.glob("segment-[0-9]*.jsonl")):
+        raise JournalStatsError(
+            f"{root} has no journal segments (segment-NNN.jsonl) — not a "
+            f"campaign journal directory"
+        )
+    try:
+        journal = CampaignJournal(root, fsync=False)
+    except JournalError as e:
+        raise JournalStatsError(f"{root}: {e}") from e
+    meta = journal.meta or {}
+    mode = (meta.get("signature") or {}).get("journal_mode", "campaign")
+    progress: dict = {
+        "dir": str(root),
+        "mode": mode,
+        "program": meta.get("program"),
+        "nprocs": meta.get("nprocs"),
+        "complete": journal.complete,
+    }
+    if mode == "dist":
+        leases: dict = {}
+        records = 0
+        have_self = False
+        for e in journal.entries:
+            t = e.get("t")
+            if t == "dself":
+                have_self = True
+            elif t == "lease":
+                leases.setdefault(e["id"], "open")
+            elif t == "lease_done":
+                leases[e["id"]] = "done"
+            elif t == "rec":
+                records += 1
+        progress.update(
+            self_run=have_self,
+            records=records,
+            leases=len(leases),
+            leases_done=sum(1 for s in leases.values() if s == "done"),
+        )
+    elif mode == "shard":
+        progress["runs"] = sum(
+            1 for e in journal.entries if e.get("t") == "srun"
+        )
+    else:  # serial campaign
+        runs = failures = checkpoints = errors = 0
+        for e in journal.entries:
+            t = e.get("t")
+            if t == "run":
+                runs += 1
+                errors += len(e.get("errors") or ())
+            elif t == "failure":
+                failures += 1
+            elif t == "checkpoint":
+                checkpoints += 1
+        progress.update(
+            runs=runs, failures=failures, checkpoints=checkpoints,
+            errors=errors,
+        )
+    return progress
+
+
+def journal_follow_line(progress: dict) -> str:
+    """The compact one-line form ``repro stats --follow`` prints per
+    poll."""
+    state = "complete" if progress["complete"] else "running"
+    if progress["mode"] == "dist":
+        return (
+            f"dist {state}: {progress['records']} record(s), "
+            f"{progress['leases_done']}/{progress['leases']} lease(s) done"
+        )
+    return (
+        f"{state}: {progress.get('runs', 0)} run(s), "
+        f"{progress.get('errors', 0)} error(s), "
+        f"{progress.get('failures', 0)} failure(s)"
+    )
+
+
+def render_journal_summary(progress: dict) -> str:
+    """Multi-line summary of a journal directory (any mode)."""
+    mode = progress["mode"]
+    state = "complete" if progress["complete"] else "in progress"
+    head = f"{mode} journal {progress['dir']} ({state})"
+    if progress.get("program"):
+        head += f"\n  program           : {progress['program']}"
+    if progress.get("nprocs") is not None:
+        head += f"\n  nprocs            : {progress['nprocs']}"
+    lines = [head]
+    if mode == "dist":
+        lines += [
+            f"  self run recorded : {progress['self_run']}",
+            f"  leases            : {progress['leases']} "
+            f"({progress['leases_done']} done)",
+            f"  run records       : {progress['records']}",
+            "",
+            "(per-run detail lives in the assembled report: "
+            "'repro dist resume' this directory, then 'repro stats' the "
+            "--json-out)",
+        ]
+    elif mode == "shard":
+        lines += [
+            f"  memoized runs     : {progress.get('runs', 0)}",
+            "",
+            "(a worker shard journal covers one leased subtree of a "
+            "distributed campaign — summarize the coordinator's "
+            "--journal-dir instead)",
+        ]
+    else:
+        lines += [
+            f"  runs journaled    : {progress.get('runs', 0)}",
+            f"  errors found      : {progress.get('errors', 0)}",
+            f"  replay failures   : {progress.get('failures', 0)}",
+            f"  checkpoints       : {progress.get('checkpoints', 0)}",
+        ]
     return "\n".join(lines)

@@ -2,36 +2,52 @@
 
 Design constraints, in priority order:
 
-1. **Cheap when off.**  Emitter sites hold a ``tracer`` that is either a
+1. **Cheap when on.**  The hot path (:meth:`Tracer.instant`) allocates no
+   :class:`Event` — it packs a raw tuple into a preallocated ring slot and
+   defers *all* rendering (arg sorting, dataclass construction) to
+   :meth:`drain`/:meth:`collect`, which run once per run instead of once
+   per event.  ``benchmarks/bench_obs_overhead.py`` bounds the enabled
+   cost at <=5% on the matmult self-run.
+2. **Cheap when off.**  Emitter sites hold a ``tracer`` that is either a
    :class:`Tracer` or ``None``; the disabled path is one attribute load
    plus an ``is not None`` test (the :data:`NULL_TRACER` singleton exists
    for callers that prefer unconditional calls — its methods are no-ops).
-   ``benchmarks/bench_obs_overhead.py`` bounds the disabled-tracer cost at
-   <3% on the matmult self-run.
-2. **Bounded memory.**  Events land in a ``collections.deque`` ring with a
-   fixed ``maxlen``; overflow evicts the oldest event and bumps
-   ``dropped`` rather than growing without limit on long campaigns.
-3. **Deterministic modulo timestamps.**  Everything except ``ts``/``dur``
+   The disabled-tracer cost is bounded at <3% by the same benchmark.
+3. **Exact counters, sampled payloads.**  The ring always records, but
+   when ``capture`` is off (a sampled-out run) :meth:`drain`/:meth:`collect`
+   collapse the payloads into per-name counters instead of handing them
+   out, so campaign-level ``events.*`` totals are exact at any payload
+   sampling rate.  Recording unconditionally keeps prefix checkpoints
+   honest: a snapshot cut during a sampled-out run still carries the
+   prefix payloads a *captured* descendant run needs.
+4. **Bounded memory.**  The ring has a fixed capacity; overflow evicts
+   the oldest record (still counting it — eviction folds the record into
+   the counters) and bumps ``dropped`` rather than growing without limit.
+5. **Deterministic modulo timestamps.**  Everything except ``ts``/``dur``
    is derived from the verified execution, so two serial runs of the same
    workload produce identical streams under :func:`event_signature`
-   (which strips the clock fields).  ``args`` is stored as a sorted tuple
-   of pairs — hashable, picklable, and order-stable.
+   (which strips the clock fields).  ``args`` is rendered as a sorted
+   tuple of pairs — hashable, picklable, and order-stable.
 
-Events cross process boundaries (replay workers pickle them back inside
-``RunResult.artifacts["obs"]``), so :class:`Event` stays a plain slotted
-dataclass of primitives.
+Raw records cross process boundaries (replay workers pickle the
+:meth:`collect` payload back inside ``RunResult.artifacts["obs"]``) and
+ride inside prefix checkpoints (:meth:`snapshot_state` /
+:meth:`restore_state` — see ``repro.mpi.snapshot``), so both shapes stay
+plain tuples/dicts of primitives.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
-#: Default ring capacity; ~100 bytes/event keeps the worst case ~6 MiB.
+#: Default ring capacity; ~100 bytes/record keeps the worst case ~6 MiB.
 DEFAULT_BUFFER = 65536
+
+#: raw-record field order (ring slots are plain tuples, not Events)
+_NAME, _CAT, _TS, _PH, _DUR, _RANK, _RUN, _ARGS = range(8)
 
 
 @dataclass(frozen=True)
@@ -80,14 +96,34 @@ def event_signature(events: Iterable[Event]) -> Tuple:
     )
 
 
-def _freeze_args(kwargs: dict) -> Tuple[Tuple[str, object], ...]:
-    return tuple(sorted(kwargs.items()))
+def _freeze_args(args) -> Tuple[Tuple[str, object], ...]:
+    """Render a raw arg payload (kwargs dict, or an already-frozen tuple
+    of pairs) into the sorted-tuple form Events carry."""
+    if type(args) is tuple:
+        return args
+    return tuple(sorted(args.items()))
+
+
+def _materialize(rec) -> Event:
+    """Build the Event for one raw ring record (the deferred rendering)."""
+    return Event(
+        name=rec[0], cat=rec[1], ts=rec[2], ph=rec[3], dur=rec[4],
+        rank=rec[5], run=rec[6], args=_freeze_args(rec[7]),
+    )
 
 
 class Tracer:
-    """Collects :class:`Event` records into a bounded ring buffer."""
+    """Collects raw event records into a preallocated ring buffer.
 
-    __slots__ = ("_events", "_clock", "_t0", "dropped", "buffer")
+    The ring is a fixed-size list whose slots are reused across runs
+    (:meth:`reset` just rewinds the indices); records are materialized
+    into :class:`Event` objects only on :meth:`drain`.
+    """
+
+    __slots__ = (
+        "_ring", "_next", "_count", "_counts", "_clock", "_t0",
+        "dropped", "buffer", "capture",
+    )
 
     enabled = True
 
@@ -96,38 +132,53 @@ class Tracer:
         self._clock = clock
         self._t0 = clock()
         self.dropped = 0
-        self._events: deque = deque(maxlen=self.buffer)
+        #: payload output switch: when False (a sampled-out run) the ring
+        #: still records — checkpoint snapshots need the payloads — but
+        #: drain/collect fold them into the counters instead of handing
+        #: them out (exact counters, no payloads leave the tracer)
+        self.capture = True
+        self._ring: list = [None] * self.buffer
+        self._next = 0
+        self._count = 0
+        #: per-name exact counters for records no longer in the ring
+        #: (evicted, or emitted while capture was off); ring contents are
+        #: tallied on demand so the hot path pays no dict write
+        self._counts: dict = {}
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._count
 
     def now(self) -> float:
         """Seconds since this tracer's epoch (last :meth:`reset`)."""
         return self._clock() - self._t0
 
-    def _append(self, event: Event) -> None:
-        if len(self._events) == self.buffer:
-            self.dropped += 1
-        self._events.append(event)
+    # -- hot path -----------------------------------------------------------
 
     def instant(self, name: str, cat: str, rank: Optional[int] = None,
                 run: Optional[int] = None, **args) -> None:
         """Record a point-in-time event."""
-        self._append(Event(
-            name=name, cat=cat, ts=self.now(), ph="i", rank=rank, run=run,
-            args=_freeze_args(args),
-        ))
+        i = self._next
+        ring = self._ring
+        if self._count == self.buffer:
+            old = ring[i][0]
+            counts = self._counts
+            counts[old] = counts.get(old, 0) + 1
+            self.dropped += 1
+        else:
+            self._count += 1
+        ring[i] = (name, cat, self._clock() - self._t0, "i", 0.0,
+                   rank, run, args)
+        i += 1
+        self._next = 0 if i == self.buffer else i
 
     def complete(self, name: str, cat: str, start: float,
                  rank: Optional[int] = None, run: Optional[int] = None,
                  **args) -> None:
         """Record a span that began at ``start`` (a :meth:`now` sample)
         and ends now."""
-        end = self.now()
-        self._append(Event(
-            name=name, cat=cat, ts=start, ph="X", dur=max(0.0, end - start),
-            rank=rank, run=run, args=_freeze_args(args),
-        ))
+        dur = self._clock() - self._t0 - start
+        self._push((name, cat, start, "X", dur if dur > 0.0 else 0.0,
+                    rank, run, args))
 
     @contextmanager
     def span(self, name: str, cat: str, rank: Optional[int] = None,
@@ -138,22 +189,129 @@ class Tracer:
         finally:
             self.complete(name, cat, start, rank=rank, run=run, **args)
 
+    # -- cold paths ---------------------------------------------------------
+
+    def _push(self, rec: tuple) -> None:
+        i = self._next
+        ring = self._ring
+        if self._count == self.buffer:
+            old = ring[i][0]
+            counts = self._counts
+            counts[old] = counts.get(old, 0) + 1
+            self.dropped += 1
+        else:
+            self._count += 1
+        ring[i] = rec
+        i += 1
+        self._next = 0 if i == self.buffer else i
+
     def emit(self, event: Event) -> None:
         """Append a pre-built event (merging another tracer's stream)."""
-        self._append(event)
+        self._push((event.name, event.cat, event.ts, event.ph, event.dur,
+                    event.rank, event.run, event.args))
+
+    def emit_raw(self, records: Iterable[tuple], run: Optional[int] = None,
+                 ts_offset: float = 0.0) -> None:
+        """Merge raw records from another tracer's :meth:`collect`
+        payload, relabelling each with ``run`` and rebasing timestamps
+        (the campaign merge path — no Event round-trip)."""
+        push = self._push
+        for rec in records:
+            push((rec[0], rec[1], rec[2] + ts_offset, rec[3], rec[4],
+                  rec[5], run, rec[7]))
+
+    def _records(self) -> list:
+        """Ring contents, oldest first (records stay raw)."""
+        if self._count < self.buffer:
+            return self._ring[:self._count]
+        i = self._next
+        return self._ring[i:] + self._ring[:i]
+
+    def counts(self) -> dict:
+        """Exact per-name emit totals since the last :meth:`reset`:
+        evicted + sampled-out records plus whatever is still buffered."""
+        totals = dict(self._counts)
+        for rec in self._records():
+            name = rec[0]
+            totals[name] = totals.get(name, 0) + 1
+        return totals
 
     def drain(self) -> list:
-        """Return and clear the buffered events (oldest first)."""
-        events = list(self._events)
-        self._events.clear()
-        return events
+        """Materialize, return, and clear the buffered events (oldest
+        first).  Counters are *not* cleared — they keep the exact totals
+        until :meth:`reset`.  A ``capture``-off tracer folds the payloads
+        into the counters and returns nothing."""
+        records = self._records()
+        counts = self._counts
+        for rec in records:
+            name = rec[0]
+            counts[name] = counts.get(name, 0) + 1
+        self._next = 0
+        self._count = 0
+        if not self.capture:
+            return []
+        return [_materialize(rec) for rec in records]
+
+    def collect(self) -> dict:
+        """Drain into the raw transport payload a run hands back through
+        ``RunResult.artifacts["obs"]``: records stay unrendered (cheap to
+        pickle, rendered only at export), counters are exact totals.  A
+        ``capture``-off (sampled-out) run ships counts only."""
+        records = self._records()
+        self._next = 0
+        self._count = 0
+        counts = dict(self._counts)
+        for rec in records:
+            name = rec[0]
+            counts[name] = counts.get(name, 0) + 1
+        self._counts = {}
+        return {
+            "records": records if self.capture else [],
+            "counts": counts,
+            "dropped": self.dropped,
+            "captured": self.capture,
+        }
 
     def reset(self) -> None:
-        """Clear the buffer and rebase the epoch; per-run tracers reset
-        at the top of every run so timestamps are run-relative."""
-        self._events.clear()
+        """Rewind the ring and rebase the epoch; per-run tracers reset at
+        the top of every run so timestamps are run-relative.  Slots are
+        reused, not reallocated; the ``capture`` flag is preserved (it is
+        per-run sampling state owned by the verifier)."""
+        self._next = 0
+        self._count = 0
+        self._counts = {}
         self.dropped = 0
         self._t0 = self._clock()
+
+    # -- checkpoint integration ---------------------------------------------
+
+    def snapshot_state(self) -> tuple:
+        """Freeze the stream state at a prefix-checkpoint cut: buffered
+        records, off-ring counters, and the drop count.  Restoring this
+        into a consumer run makes its stream (and exact totals) identical
+        to a full re-execution of the shared prefix."""
+        return (self._records(), dict(self._counts), self.dropped)
+
+    def restore_state(self, state: Optional[tuple]) -> None:
+        """Reinstate :meth:`snapshot_state` output (checkpoint restore).
+
+        The ring is restored regardless of ``capture`` — a snapshot cut
+        inside a sampled-out run must still hand the prefix payloads to
+        any captured run that restores it; :meth:`drain`/:meth:`collect`
+        decide at output time whether payloads leave the tracer."""
+        self.reset()
+        if state is None:
+            return
+        records, counts, dropped = state
+        self._counts = dict(counts)
+        n = len(records)
+        if n > self.buffer:  # pragma: no cover - ring shrank mid-session
+            records = records[n - self.buffer:]
+            n = self.buffer
+        self._ring[:n] = records
+        self._count = n
+        self._next = 0 if n == self.buffer else n
+        self.dropped = dropped
 
 
 class _NullTracer:
@@ -167,6 +325,7 @@ class _NullTracer:
     enabled = False
     dropped = 0
     buffer = 0
+    capture = False
 
     def __len__(self) -> int:
         return 0
@@ -183,14 +342,29 @@ class _NullTracer:
     def emit(self, event) -> None:
         return None
 
+    def emit_raw(self, records, run=None, ts_offset=0.0) -> None:
+        return None
+
     @contextmanager
     def span(self, name, cat, rank=None, run=None, **args):
         yield
 
+    def counts(self) -> dict:
+        return {}
+
     def drain(self) -> list:
         return []
 
+    def collect(self) -> dict:
+        return {"records": [], "counts": {}, "dropped": 0, "captured": False}
+
     def reset(self) -> None:
+        return None
+
+    def snapshot_state(self) -> tuple:
+        return ([], {}, 0)
+
+    def restore_state(self, state) -> None:
         return None
 
 
