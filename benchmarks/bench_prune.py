@@ -1,0 +1,142 @@
+"""Pruning payoff: replay counts and wall-clock with and without
+future-equivalence subtree pruning.
+
+Three legs, chosen to bracket the feature honestly:
+
+* **matmult** (the paper's Fig. 6 program) — the wildcard-richest
+  realistic workload the repo offers; pruning's payoff here is what a
+  user sees on real master/worker codes.
+* **safe commutative wildcard** (bug zoo) — the archetypal prunable
+  shape: N senders whose delivery order provably cannot matter, so all
+  but one sibling subtree collapses.  This leg gates the CI check (a
+  ≥20% replay reduction must hold somewhere).
+* **order-dependent consumption** (bug zoo) — the anti-case: every
+  interleaving produces a distinct downstream skeleton, so pruning must
+  save *nothing* (a nonzero saving here would be an unsoundness smell,
+  not a win).
+
+Every pruned report is checked findings-identical to its unpruned twin
+before any number is recorded — a faster wrong answer is not a result.
+
+Artifacts: ``benchmarks/results/prune.txt`` (human-readable) and
+``BENCH_prune.json`` at the repo root (canonical schema, see
+:func:`benchmarks._util.write_bench_json`).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # `python benchmarks/bench_prune.py`
+    sys.path.insert(0, str(Path(__file__).parent.parent))
+
+import pytest
+
+from repro.dampi.config import DampiConfig
+from repro.dampi.verifier import DampiVerifier
+from repro.workloads.bugzoo import (
+    order_dependent_reduction,
+    safe_wildcard_commutative,
+)
+from repro.workloads.matmult import matmult_program
+
+from benchmarks._util import FULL, one_shot, record, write_bench_json
+
+LEGS = (
+    (
+        "matmult",
+        matmult_program,
+        5 if FULL else 4,
+        {"n": 16, "blocks_per_slave": 3 if FULL else 2},
+    ),
+    ("safe_commutative_wildcard", safe_wildcard_commutative, 4, {}),
+    ("order_dependent_consumption", order_dependent_reduction, 3, {}),
+)
+
+
+def _findings(report):
+    return sorted((e.kind, e.detail) for e in report.errors)
+
+
+def _run(program, nprocs, kwargs, prune):
+    cfg = DampiConfig(
+        prune=prune, enable_monitor=False, enable_leak_check=False
+    )
+    verifier = DampiVerifier(program, nprocs, cfg, kwargs=kwargs)
+    t0 = time.perf_counter()
+    try:
+        report = verifier.verify()
+    finally:
+        verifier.close()
+    return report, time.perf_counter() - t0
+
+
+def run_bench() -> dict:
+    rows = []
+    for name, program, nprocs, kwargs in LEGS:
+        base, base_wall = _run(program, nprocs, kwargs, prune=False)
+        pruned, pruned_wall = _run(program, nprocs, kwargs, prune=True)
+        assert _findings(pruned) == _findings(base), (
+            f"{name}: pruning changed the findings — unsound"
+        )
+        ps = pruned.prune_stats
+        assert (
+            ps["replays_saved"] + pruned.interleavings == base.interleavings
+        ), f"{name}: pruned subtrees not fully accounted for"
+        saved_pct = (
+            ps["replays_saved"] / base.interleavings * 100
+            if base.interleavings
+            else 0.0
+        )
+        rows.append(
+            {
+                "workload": name,
+                "nprocs": nprocs,
+                "replays_unpruned": base.interleavings,
+                "replays_pruned": pruned.interleavings,
+                "subtrees_pruned": ps["subtrees_pruned"],
+                "replays_saved": ps["replays_saved"],
+                "replays_saved_pct": round(saved_pct, 1),
+                "wall_unpruned_s": round(base_wall, 4),
+                "wall_pruned_s": round(pruned_wall, 4),
+                "findings_identical": True,
+            }
+        )
+    return {"full_scale": FULL, "rows": rows}
+
+
+def _render(data: dict) -> list[str]:
+    lines = [
+        "Pruning payoff: guided replays with/without subtree pruning",
+        f"{'workload':<30} {'unpruned':>9} {'pruned':>7} {'saved':>6} "
+        f"{'saved%':>7}",
+        "-" * 64,
+    ]
+    for r in data["rows"]:
+        lines.append(
+            f"{r['workload']:<30} {r['replays_unpruned']:>9} "
+            f"{r['replays_pruned']:>7} {r['replays_saved']:>6} "
+            f"{r['replays_saved_pct']:>6.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        "every pruned run verified findings-identical to its unpruned twin"
+    )
+    return lines
+
+
+@pytest.mark.benchmark(group="prune")
+def test_bench_prune(benchmark):
+    data = one_shot(benchmark, run_bench)
+    record("prune", _render(data))
+    write_bench_json("prune", data)
+    # the CI gate: at least one workload must shed >=20% of its replays
+    assert any(r["replays_saved_pct"] >= 20.0 for r in data["rows"])
+
+
+if __name__ == "__main__":
+    data = run_bench()
+    record("prune", _render(data))
+    write_bench_json("prune", data)

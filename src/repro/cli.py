@@ -221,6 +221,23 @@ def build_parser() -> argparse.ArgumentParser:
         "decision points); every guided replay re-executes from MPI_Init. "
         "Reports are bit-identical either way",
     )
+    v.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable future-equivalence subtree pruning (on by default: "
+        "sibling alternatives whose futures are provably isomorphic are "
+        "explored once; findings are identical either way — see "
+        "report.prune_stats for what was skipped)",
+    )
+    v.add_argument(
+        "--adaptive-clocks",
+        action="store_true",
+        help="adaptive clock escalation: run the scalar clock, detect "
+        "epochs where its approximation may have excluded a real match "
+        "(the paper's Fig. 4 pattern), and re-derive just those epochs' "
+        "alternatives under vector clocks via one precision replay each; "
+        "requires --clock lamport|lamport_dual",
+    )
 
     s = sub.add_parser(
         "stats",
@@ -356,6 +373,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable prefix-sharing replay inside the shard workers",
     )
     dr.add_argument(
+        "--no-prune", action="store_true",
+        help="disable future-equivalence subtree pruning (workers skip "
+        "provably isomorphic sibling subtrees; findings are identical "
+        "either way)",
+    )
+    dr.add_argument(
+        "--adaptive-clocks", action="store_true",
+        help="adaptive clock escalation inside the shard workers "
+        "(requires --clock lamport|lamport_dual)",
+    )
+    dr.add_argument(
         "--json-out", type=Path, default=None, metavar="FILE",
         help="write the report JSON",
     )
@@ -414,6 +442,17 @@ def _jobs_arg(args):
     return None if args.jobs == 0 else args.jobs
 
 
+def _check_adaptive_clock(args) -> None:
+    """Fail fast with a CLI-shaped message instead of DampiConfig's
+    ValueError when --adaptive-clocks meets a non-scalar clock."""
+    if args.adaptive_clocks and args.clock not in ("lamport", "lamport_dual"):
+        raise SystemExit(
+            f"--adaptive-clocks escalates a *scalar* clock to vector "
+            f"precision on demand; --clock {args.clock} is already "
+            f"(or wraps) a vector clock — drop one of the two flags"
+        )
+
+
 def cmd_verify(args) -> int:
     program = resolve_program(args.program)
     kwargs = json.loads(args.kwargs)
@@ -422,6 +461,12 @@ def cmd_verify(args) -> int:
             "--no-trace conflicts with --trace-out/--events-out/--revt-out "
             "(event exports need the tracer)"
         )
+    if args.no_trace and args.trace_sample != 1:
+        raise SystemExit(
+            "--no-trace conflicts with --trace-sample "
+            "(payload sampling configures the tracer --no-trace disables)"
+        )
+    _check_adaptive_clock(args)
     config = DampiConfig(
         clock_impl=args.clock,
         piggyback=args.piggyback,
@@ -440,6 +485,8 @@ def cmd_verify(args) -> int:
         progress_interval_seconds=args.progress,
         fault_plan=args.fault_plan,
         prefix_checkpoints=not args.no_prefix_checkpoints,
+        prune=not args.no_prune,
+        adaptive_clocks=args.adaptive_clocks,
     )
     cls = IspVerifier if args.baseline else DampiVerifier
     verifier = cls(program, args.nprocs, config, kwargs=kwargs)
@@ -514,18 +561,23 @@ def _stats_follow(args) -> int:
 
     from repro.obs.stats import (
         JournalStatsError,
+        follow_interval,
         journal_follow_line,
         journal_progress,
         render_journal_summary,
     )
 
     try:
+        interval = follow_interval(args.interval)
+    except ValueError as e:
+        raise SystemExit(str(e)) from e
+    try:
         while True:
             progress = journal_progress(args.file)
             print(journal_follow_line(progress), flush=True)
             if progress["complete"]:
                 break
-            _time.sleep(max(0.1, args.interval))
+            _time.sleep(interval)
     except JournalStatsError as e:
         raise SystemExit(str(e)) from e
     except KeyboardInterrupt:
@@ -723,6 +775,7 @@ def cmd_dist_run(args) -> int:
     from repro.dist import distributed_verify
 
     program = resolve_program(args.program)
+    _check_adaptive_clock(args)
     config = DampiConfig(
         clock_impl=args.clock,
         bound_k=args.bound_k,
@@ -731,6 +784,8 @@ def cmd_dist_run(args) -> int:
         progress_interval_seconds=args.progress,
         fault_plan=args.fault_plan,
         prefix_checkpoints=not args.no_prefix_checkpoints,
+        prune=not args.no_prune,
+        adaptive_clocks=args.adaptive_clocks,
     )
     journal = None
     if args.journal_dir is not None:

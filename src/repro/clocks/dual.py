@@ -31,6 +31,14 @@ from repro.clocks.lamport import LamportClock, LamportStamp
 from repro.clocks.vector import VectorClock, VectorStamp
 
 
+def precision_impl(impl: str) -> str:
+    """The vector-precision counterpart of a clock impl, preserving
+    dual-ness: scalar impls map to their vector twin (what an adaptive
+    precision replay runs under — see :mod:`repro.dampi.prune`), vector
+    impls are already precise and map to themselves."""
+    return {"lamport": "vector", "lamport_dual": "vector_dual"}.get(impl, impl)
+
+
 class DualClock:
     """A (main, transmit) clock pair over either scalar or vector clocks.
 

@@ -93,10 +93,17 @@ class DampiClockModule(ToolModule):
         piggyback: PiggybackModule,
         clock_impl: str = "lamport",
         decisions: Optional[EpochDecisions] = None,
+        flag_scalar_risk: bool = False,
     ):
         self.piggyback = piggyback
         self.clock_impl = clock_impl
         self.decisions = decisions or EpochDecisions()
+        #: record the epochs a *scalar* stamp comparison excluded a
+        #: candidate from (the Fig. 4 approximate judgement) on the run
+        #: trace, for adaptive clock escalation.  Off by default: the
+        #: flagging scan walks the epoch prefix the bisect prefilter
+        #: exists to skip.
+        self.flag_scalar_risk = flag_scalar_risk
         piggyback.register(self._provide_stamp, self._consume_stamp)
         self._state: list[_RankClockState] = []
         self._epoch_by_req: dict[int, EpochRecord] = {}
@@ -105,6 +112,7 @@ class DampiClockModule(ToolModule):
         self._matches: list[PotentialMatch] = []
         self._consumed_decisions: set = set()
         self._forced_mismatches: list = []
+        self._scalar_risk: set = set()
         self._engine = None
         self._nprocs = 0
         self._tracer = None
@@ -129,6 +137,7 @@ class DampiClockModule(ToolModule):
         self._matches = []
         self._consumed_decisions = set()
         self._forced_mismatches = []
+        self._scalar_risk = set()
 
     # -- checkpoint support --------------------------------------------------
 
@@ -190,6 +199,7 @@ class DampiClockModule(ToolModule):
             self._matches,
             self._consumed_decisions,
             self._forced_mismatches,
+            self._scalar_risk,
         )
 
     def restore_state(self, state, runtime) -> None:
@@ -200,6 +210,7 @@ class DampiClockModule(ToolModule):
             self._matches,
             self._consumed_decisions,
             self._forced_mismatches,
+            self._scalar_risk,
         ) = state
         self._engine = runtime.engine
         self._nprocs = runtime.nprocs
@@ -234,6 +245,15 @@ class DampiClockModule(ToolModule):
         src_local = None
         epochs = state.epochs
         env_ctx, env_tag = env.ctx, env.tag
+        if start and self.flag_scalar_risk:
+            # every epoch the prefilter skipped was excluded by the scalar
+            # order *alone* (post-tick lc <= the send's scalar time) — the
+            # approximate Fig. 4 judgement vector clocks might refute.
+            # Flag the compatible ones for adaptive escalation.
+            for i in range(start):
+                e = epochs[i]
+                if e.ctx == env_ctx and (e.tag == env_tag or e.tag == ANY_TAG):
+                    self._scalar_risk.add(e.key)
         for i in range(start, len(epochs)):
             e = epochs[i]
             if e.ctx != env_ctx or (e.tag != env_tag and e.tag != ANY_TAG):
@@ -241,7 +261,13 @@ class DampiClockModule(ToolModule):
             if e.stamp.leq(stamp):
                 # the epoch's post-tick clock flowed into the send: the
                 # send is (under Lamport: approximately) causally after
-                # the epoch and can never have matched it
+                # the epoch and can never have matched it.  A scalar
+                # exclusion is only approximate (Fig. 4: the scalar order
+                # may be coincidental where vectors stay incomparable) —
+                # flag the epoch so adaptive escalation can re-check its
+                # alternatives under vector clocks.
+                if isinstance(stamp, LamportStamp):
+                    self._scalar_risk.add(e.key)
                 continue
             if src_local is None:
                 src_local = ctx_obj.rank_of(env.src)
@@ -694,6 +720,7 @@ class DampiClockModule(ToolModule):
             potential_matches=self._matches,
             unconsumed_decisions=unconsumed,
             forced_mismatches=self._forced_mismatches,
+            scalar_risk=sorted(self._scalar_risk),
         )
 
     def clock_of(self, rank: int):

@@ -157,6 +157,25 @@ class DampiConfig:
     #: Snapshot only decision points whose forced-prefix depth is a
     #: multiple of this (1 = every decision point).
     checkpoint_interval: int = 1
+    #: Future-equivalence subtree pruning (see :mod:`repro.dampi.prune`):
+    #: when a flipped sibling's run provably matches an already-walked
+    #: sibling — same downstream send/recv skeleton fingerprint *and*
+    #: identical checker outcome — the generator marks the un-walked
+    #: subtree pruned instead of expanding it (outcome-dedup generalized
+    #: from leaves to subtrees).  Findings stay bit-identical to the
+    #: unpruned walk; every pruned subtree is accounted for in
+    #: ``report.prune_stats`` and the journal.  CLI: ``--prune`` /
+    #: ``--no-prune``.
+    prune: bool = False
+    #: Adaptive per-epoch clock escalation: run the configured scalar
+    #: clock (``lamport`` / ``lamport_dual``) by default, detect the
+    #: Fig. 4 cross-coupled imprecision pattern from each recorded trace
+    #: (an epoch whose late-send set could be inflated by scalar
+    #: mis-ordering), and re-verify only the affected runs under vector
+    #: clocks — augmenting the scalar trace with the vector-only
+    #: alternatives instead of paying O(nprocs) piggyback campaign-wide.
+    #: Requires a scalar ``clock_impl``.
+    adaptive_clocks: bool = False
     policy: str = "arrival"
     mode: str = "run_to_block"
     cost_model: CostModel = field(default_factory=CostModel)
@@ -204,6 +223,15 @@ class DampiConfig:
             raise ValueError("checkpoint_cache_mb must be >= 1")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if self.adaptive_clocks and self.clock_impl not in (
+            "lamport",
+            "lamport_dual",
+        ):
+            raise ValueError(
+                "adaptive_clocks escalates a scalar clock to vector "
+                "precision; it requires clock_impl lamport|lamport_dual, "
+                f"not {self.clock_impl!r}"
+            )
         if self.trace_buffer < 1:
             raise ValueError("trace_buffer must be >= 1")
         if self.trace_sample_every < 1:

@@ -137,6 +137,11 @@ class RunTrace:
     unconsumed_decisions: list[EpochKey] = field(default_factory=list)
     #: epochs where a forced source disagreed with what completed
     forced_mismatches: list[EpochKey] = field(default_factory=list)
+    #: epochs whose late-send set may be truncated by scalar-clock
+    #: imprecision: a candidate was excluded because its scalar stamp
+    #: dominated the epoch's, an ordering vector clocks might refute
+    #: (the Fig. 4 cross-coupled pattern).  Empty under vector clocks.
+    scalar_risk: list[EpochKey] = field(default_factory=list)
 
     def all_epochs(self) -> list[EpochRecord]:
         out: list[EpochRecord] = []

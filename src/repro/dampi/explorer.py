@@ -64,6 +64,20 @@ class DecisionNode:
     #: .take_pinned_discoveries` so the coordinator can lease the sibling
     #: subtrees to someone else
     pinned: bool = False
+    #: future-equivalence pruning (``prune=True`` generators only):
+    #: ``(fingerprint, outcome_digest) -> source`` for every sibling
+    #: subtree whose run has been witnessed at this node.  A later flip
+    #: whose run carries an already-present signature is pruned — its
+    #: subtree is provably isomorphic to the recorded sibling's.
+    sigs: dict = field(default_factory=dict)
+    #: per-source bookkeeping for the pruning invariant: how many runs
+    #: (``vcost``) and distance-frozen nodes (``vfrozen``) the walk of
+    #: each sibling subtree produced.  A pruned sibling is credited its
+    #: reference subtree's totals, so ``executed + replays_saved`` equals
+    #: the unpruned run count and ``bound_frozen`` coverage proofs stay
+    #: sound.
+    vcost: dict = field(default_factory=dict)
+    vfrozen: dict = field(default_factory=dict)
 
     @property
     def untried(self) -> set[int]:
@@ -85,8 +99,13 @@ class ScheduleGenerator:
         self,
         bound_k: Optional[int] = None,
         auto_loop_threshold: Optional[int] = None,
+        prune: bool = False,
     ):
         self.bound_k = bound_k
+        #: future-equivalence subtree pruning (see :mod:`repro.dampi.prune`)
+        self.prune = prune
+        self.prunes = 0
+        self.replays_saved = 0
         #: paper §VI future work, implemented: when a rank issues more than
         #: this many *consecutive* wildcard operations with an identical
         #: signature (communicator, tag, kind) — the fingerprint of a fixed
@@ -111,13 +130,20 @@ class ScheduleGenerator:
 
     # -- run-0 ----------------------------------------------------------------
 
-    def seed(self, trace: RunTrace) -> None:
+    def seed(self, trace: RunTrace, signature=None) -> None:
         """Build the initial path from the self run.  Run-0 nodes are never
-        distance-frozen: the first window is anchored at the start."""
+        distance-frozen: the first window is anchored at the start.
+
+        ``signature`` (a :class:`repro.dampi.prune.RunSignature`) records
+        the self run as the *natural* sibling at every seeded node, so
+        later flips can prune against the un-flipped subtree."""
         if self._seeded:
             raise RuntimeError("generator already seeded")
         self._seeded = True
         self.path = self._nodes_from_epochs(trace, trace.all_epochs(), distance_from=None)
+        if self.prune:
+            self._charge_path(1, 0)
+            self._stamp_signature(signature, self.path)
 
     def seed_prefix(
         self,
@@ -414,7 +440,9 @@ class ScheduleGenerator:
         self._flip_index = None
         self._flip_prev = None
 
-    def integrate(self, trace: RunTrace, seed_fresh: bool = True) -> None:
+    def integrate(
+        self, trace: RunTrace, seed_fresh: bool = True, signature=None
+    ) -> bool:
         """Fold a replay's trace into the search state.
 
         ``seed_fresh=False`` records the replay's effect on the *prefix*
@@ -422,10 +450,35 @@ class ScheduleGenerator:
         nodes from its suffix — the outcome-dedup path for replays that
         landed on an already-witnessed wildcard outcome, whose suffix
         space has by definition already been seeded once.
+
+        With ``prune=True`` and a ``signature``
+        (:class:`repro.dampi.prune.RunSignature`), the flipped node first
+        checks the run's signature against its already-walked siblings:
+        on a match the whole subtree is pruned (no fresh nodes seeded),
+        ``replays_saved`` is credited with the reference subtree's run
+        count minus the one run just executed, and ``distance_frozen``
+        with the frozen nodes the pruned walk would have created.
+        Returns True exactly when the flip was pruned.
         """
         if self._flip_index is None:
             raise RuntimeError("integrate() without a preceding next_decisions()")
         i = self._flip_index
+        node = self.path[i]
+        pruned = False
+        saved = 0
+        frozen_credit = 0
+        if self.prune and signature is not None and not node.pinned:
+            sig = signature.for_key(node.key)
+            ref = node.sigs.get(sig)
+            if ref is not None and ref != node.chosen:
+                pruned = True
+                saved = max(node.vcost.get(ref, 1) - 1, 0)
+                frozen_credit = node.vfrozen.get(ref, 0)
+                self.prunes += 1
+                self.replays_saved += saved
+                self.distance_frozen += frozen_credit
+            else:
+                node.sigs.setdefault(sig, node.chosen)
         self._flip_index = None
         self._flip_prev = None
         if trace.diverged:
@@ -434,15 +487,42 @@ class ScheduleGenerator:
         prefix_keys = {n.key for n in prefix}
         # prefix nodes may have new alternatives discovered under this path
         alts = explorable_alternative_sources(trace)
-        for node in prefix:
-            if not node.frozen:
-                node.alternatives |= alts.get(node.key, set())
-        if not seed_fresh:
+        for m in prefix:
+            if not m.frozen:
+                m.alternatives |= alts.get(m.key, set())
+        frozen_before = self.distance_frozen
+        if seed_fresh and not pruned:
+            fresh_epochs = [e for e in trace.all_epochs() if e.key not in prefix_keys]
+            fresh = self._nodes_from_epochs(trace, fresh_epochs, distance_from=i)
+            self.path = prefix + fresh
+        else:
             self.path = prefix
+        if self.prune:
+            self._charge_path(
+                1 + saved, (self.distance_frozen - frozen_before) + frozen_credit
+            )
+            self._stamp_signature(signature, self.path[i + 1 :])
+        return pruned
+
+    def _charge_path(self, run_units: int, frozen_units: int) -> None:
+        """Credit one finished run (plus everything a prune skipped) to
+        the subtree accounting of every node whose subtree contains it —
+        the chosen-source branch of each node on the current path."""
+        for n in self.path:
+            n.vcost[n.chosen] = n.vcost.get(n.chosen, 0) + run_units
+            if frozen_units:
+                n.vfrozen[n.chosen] = n.vfrozen.get(n.chosen, 0) + frozen_units
+
+    def _stamp_signature(self, signature, nodes) -> None:
+        """Record a run's signature as the *natural* sibling at each
+        freshly seeded node.  Disabled under bounded mixing: a natural
+        subtree's freezing window is anchored at the run's own flip, a
+        sibling flip's at the node itself, so the two walks are not
+        isomorphic and only flip-vs-flip signatures may be compared."""
+        if signature is None or self.bound_k is not None:
             return
-        fresh_epochs = [e for e in trace.all_epochs() if e.key not in prefix_keys]
-        fresh = self._nodes_from_epochs(trace, fresh_epochs, distance_from=i)
-        self.path = prefix + fresh
+        for n in nodes:
+            n.sigs.setdefault(signature.for_key(n.key), n.chosen)
 
     # -- accounting ------------------------------------------------------------------
 
@@ -458,4 +538,6 @@ class ScheduleGenerator:
                 len(n.untried) for n in self.path if not (n.frozen or n.pinned)
             ),
             "divergences": self.divergences,
+            "prunes": self.prunes,
+            "replays_saved": self.replays_saved,
         }

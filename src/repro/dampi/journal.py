@@ -102,6 +102,8 @@ SEMANTIC_CONFIG_FIELDS = (
     "enable_monitor",
     "trace_ops",
     "outcome_dedup",
+    "prune",
+    "adaptive_clocks",
 )
 
 
@@ -133,6 +135,7 @@ def trace_to_jsonable(trace: RunTrace) -> dict:
         "matches": [match_to_jsonable(m) for m in trace.potential_matches],
         "unconsumed": [list(k) for k in trace.unconsumed_decisions],
         "mismatches": [list(k) for k in trace.forced_mismatches],
+        "scalar_risk": [list(k) for k in trace.scalar_risk],
     }
 
 
@@ -149,6 +152,7 @@ def trace_from_jsonable(payload: dict) -> RunTrace:
         potential_matches=[match_from_jsonable(m) for m in payload["matches"]],
         unconsumed_decisions=[tuple(k) for k in payload["unconsumed"]],
         forced_mismatches=[tuple(k) for k in payload["mismatches"]],
+        scalar_risk=[tuple(k) for k in payload.get("scalar_risk", ())],
     )
 
 
@@ -226,7 +230,7 @@ def snapshot_generator(gen: ScheduleGenerator) -> dict:
     pending) — which is the only time checkpoints are taken."""
     if gen._flip_index is not None:
         raise JournalError("cannot snapshot a generator with a pending flip")
-    return {
+    snap = {
         "bound_k": gen.bound_k,
         "auto_loop_threshold": gen.auto_loop_threshold,
         "seeded": gen._seeded,
@@ -247,17 +251,30 @@ def snapshot_generator(gen: ScheduleGenerator) -> dict:
             for n in gen.path
         ],
     }
+    if gen.prune:
+        snap["prune"] = True
+        snap["prunes"] = gen.prunes
+        snap["replays_saved"] = gen.replays_saved
+        for raw, n in zip(snap["path"], gen.path):
+            raw["sigs"] = sorted([fp, osig, src] for (fp, osig), src in n.sigs.items())
+            raw["vcost"] = sorted([src, c] for src, c in n.vcost.items())
+            raw["vfrozen"] = sorted([src, c] for src, c in n.vfrozen.items())
+    return snap
 
 
 def restore_generator(snap: dict) -> ScheduleGenerator:
     gen = ScheduleGenerator(
-        bound_k=snap["bound_k"], auto_loop_threshold=snap["auto_loop_threshold"]
+        bound_k=snap["bound_k"],
+        auto_loop_threshold=snap["auto_loop_threshold"],
+        prune=snap.get("prune", False),
     )
     gen._seeded = snap["seeded"]
     gen.divergences = snap["divergences"]
     gen.frozen_created = snap["frozen_created"]
     gen.auto_frozen_total = snap["auto_frozen_total"]
     gen.distance_frozen = snap["distance_frozen"]
+    gen.prunes = snap.get("prunes", 0)
+    gen.replays_saved = snap.get("replays_saved", 0)
     gen.path = [
         DecisionNode(
             key=tuple(n["key"]),
@@ -267,6 +284,9 @@ def restore_generator(snap: dict) -> ScheduleGenerator:
             alternatives=set(n["alternatives"]),
             frozen=n["frozen"],
             pinned=n.get("pinned", False),
+            sigs={(fp, osig): src for fp, osig, src in n.get("sigs", ())},
+            vcost={src: c for src, c in n.get("vcost", ())},
+            vfrozen={src: c for src, c in n.get("vfrozen", ())},
         )
         for n in snap["path"]
     ]

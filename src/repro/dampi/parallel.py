@@ -82,24 +82,34 @@ class ReplaySpec:
         try:
             pickle.dumps(self)
             return True
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:
             return False
 
 
-def _discard_pool(pool: ProcessPoolExecutor) -> None:
+def _discard_pool(pool: ProcessPoolExecutor, swallowed=None) -> None:
     """Abandon a pool that may contain hung workers: terminate its worker
     processes first (``shutdown`` alone would leave a wedged, non-daemon
     worker alive to block interpreter exit), then shut it down without
     waiting.  ``_processes`` is a CPython implementation detail, hence the
-    blanket guards — on an exotic runtime we degrade to plain shutdown."""
+    guards — on an exotic runtime we degrade to plain shutdown.  Teardown
+    must stay interruptible, so only true errors are swallowed (counted on
+    ``swallowed`` when the caller passed its ``exec.*`` counter)."""
     try:
         for proc in list((getattr(pool, "_processes", None) or {}).values()):
             try:
                 proc.terminate()
+            except (KeyboardInterrupt, SystemExit):
+                raise
             except Exception:
-                pass
+                if swallowed is not None:
+                    swallowed.inc()
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except Exception:
-        pass
+        if swallowed is not None:
+            swallowed.inc()
     pool.shutdown(wait=False, cancel_futures=True)
 
 
@@ -249,6 +259,7 @@ class ReplayExecutor:
         self._c_failures = self.metrics.counter("exec.failures")
         self._c_wasted = self.metrics.counter("exec.wasted")
         self._c_abandoned = self.metrics.counter("exec.abandoned_workers")
+        self._c_swallowed = self.metrics.counter("exec.swallowed_errors")
         self.demoted = False
         self.demote_reason: Optional[str] = None
         self.consumed_keys: list[ScheduleKey] = []
@@ -329,7 +340,7 @@ class ReplayExecutor:
         self._c_wasted.inc(len(self._futures))
         self._futures.clear()
         if self._pool is not None:
-            _discard_pool(self._pool)
+            _discard_pool(self._pool, swallowed=self._c_swallowed)
             self._pool = None
 
     def _recycle_pool(self, reason: str) -> None:
@@ -349,12 +360,14 @@ class ReplayExecutor:
                     r, t, d, w = p.future.result()[p.index]
                     self._worker_stats(w)
                     self._done[key] = ReplayOutcome(r, t, d, miss=False)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
                 except Exception:
-                    pass
+                    self._c_swallowed.inc()
         self._c_wasted.inc(len(self._futures))
         self._futures.clear()
         if self._pool is not None:
-            _discard_pool(self._pool)
+            _discard_pool(self._pool, swallowed=self._c_swallowed)
             self._pool = None
 
     def close(self) -> None:
@@ -362,7 +375,7 @@ class ReplayExecutor:
         self._futures.clear()
         self._done.clear()
         if self._pool is not None:
-            _discard_pool(self._pool)
+            _discard_pool(self._pool, swallowed=self._c_swallowed)
             self._pool = None
 
     # -- execution ------------------------------------------------------------
@@ -540,8 +553,11 @@ class ReplayExecutor:
                     r, t, d, w = p.future.result()[p.index]
                     self._worker_stats(w)
                     self._done[k] = ReplayOutcome(r, t, d, miss=False)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
                 except Exception:
-                    pass  # surfaced as a miss-with-failure if ever consumed
+                    # surfaced as a miss-with-failure if ever consumed
+                    self._c_swallowed.inc()
         return out
 
     # -- accounting -----------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.dampi.leaks import LeakCheckModule, LeakReport
 from repro.dampi.monitor import MonitorReport, OmissionMonitorModule
 from repro.dampi.parallel import ReplayExecutor, ReplaySpec
 from repro.dampi.piggyback import PiggybackModule
+from repro.dampi import prune as prune_mod
 from repro.errors import DeadlockError
 from repro.mpi.runtime import RankExecutorPool, Runtime, RunResult
 from repro.mpi.snapshot import (
@@ -452,6 +453,12 @@ class VerificationReport:
     #: excluded from to_json(): it describes *this attempt*, not the
     #: verification (a resumed report is otherwise bit-identical).
     journal_stats: Optional[dict] = None
+    #: pruning / adaptive-escalation accounting (None unless
+    #: ``config.prune`` or ``config.adaptive_clocks``): subtrees pruned,
+    #: replays saved versus the unpruned walk, precision replays run and
+    #: the vector-only alternatives they injected.  Deterministic — part
+    #: of to_json() (see :mod:`repro.dampi.prune`).
+    prune_stats: Optional[dict] = None
     #: telemetry block (metrics snapshot + event-stream accounting),
     #: filled in by CampaignTelemetry.finalize; report JSON v3
     telemetry: Optional[dict] = None
@@ -491,6 +498,17 @@ class VerificationReport:
             lines.append(
                 f"  omission alerts (§V)   : {len(self.monitor_report)}"
             )
+        if self.prune_stats:
+            ps = self.prune_stats
+            lines.append(
+                f"  subtrees pruned        : {ps['subtrees_pruned']}"
+                f" ({ps['replays_saved']} replays saved)"
+            )
+            if ps.get("adaptive_clocks"):
+                lines.append(
+                    f"  clock escalations      : {ps['escalations']}"
+                    f" (+{ps['extra_alternatives']} vector-only alternatives)"
+                )
         if self.errors:
             lines.append(f"  ERRORS ({len(self.errors)}):")
             lines.extend(f"    {e}" for e in self.errors)
@@ -543,6 +561,7 @@ class VerificationReport:
                 }
                 for r in self.runs
             ],
+            "prune_stats": self.prune_stats,
             "telemetry": self.telemetry or {},
         }
         return json.dumps(payload, indent=2)
@@ -628,7 +647,12 @@ class DampiVerifier:
     def _build_modules(self, decisions: Optional[EpochDecisions]) -> list:
         cfg = self.config
         piggyback = PiggybackModule(cfg.piggyback)
-        clock = DampiClockModule(piggyback, cfg.clock_impl, decisions)
+        clock = DampiClockModule(
+            piggyback,
+            cfg.clock_impl,
+            decisions,
+            flag_scalar_risk=cfg.adaptive_clocks,
+        )
         modules: list = list(self._extra_outer_modules())
         if cfg.trace_ops:
             modules.append(TraceModule())
@@ -805,10 +829,20 @@ class DampiVerifier:
             self._faults = faults
         faults = self._faults
         generator = ScheduleGenerator(
-            bound_k=cfg.bound_k, auto_loop_threshold=cfg.auto_loop_threshold
+            bound_k=cfg.bound_k,
+            auto_loop_threshold=cfg.auto_loop_threshold,
+            prune=cfg.prune,
         )
         seen_error_keys: set[tuple[str, str]] = set()
         witnessed_outcomes: set[frozenset] = set()
+        #: adaptive-escalation accounting (precision replays are *extra*
+        #: executions — not interleavings — so they are counted here, not
+        #: in the walk)
+        esc_stats = {
+            "escalations": 0,
+            "escalation_replays": 0,
+            "extra_alternatives": 0,
+        }
         store = None
         if cfg.artifacts_dir is not None:
             from repro.dampi.artifacts import ArtifactStore
@@ -835,7 +869,7 @@ class DampiVerifier:
         if history:
             run_index, generator = self._replay_journal(
                 journal, history, report, telemetry, generator,
-                seen_error_keys, witnessed_outcomes, store,
+                seen_error_keys, witnessed_outcomes, store, esc_stats,
             )
         else:
             if faults:
@@ -844,6 +878,10 @@ class DampiVerifier:
                 )
             tele_token = telemetry.run_started()
             result, trace = self.run_once()
+            esc = self._escalate(None, trace, esc_stats)
+            signature = (
+                prune_mod.signature_of(result, trace) if cfg.prune else None
+            )
             if store is not None:
                 store.write_run(0, trace)
             pre_seen = set(seen_error_keys)
@@ -860,12 +898,13 @@ class DampiVerifier:
             report.self_run_vtime = result.makespan
             report.leak_report = result.artifacts.get("leaks")
             report.monitor_report = result.artifacts.get("monitor")
-            generator.seed(trace)
+            generator.seed(trace, signature=signature)
             witnessed_outcomes.add(report.runs[0].outcome)
             if journal is not None:
                 journal.append(
                     self._journal_run_entry(
-                        0, None, result, trace, report, 0, seen_error_keys, pre_seen
+                        0, None, result, trace, report, 0, seen_error_keys,
+                        pre_seen, signature=signature, esc=esc,
                     )
                 )
                 applied = 1
@@ -918,14 +957,20 @@ class DampiVerifier:
                     telemetry.heartbeat(report.interleavings, generator, executor)
                     continue
                 result, trace = outcome.result, outcome.trace
+                esc = self._escalate(decisions, trace, esc_stats)
                 if store is not None:
                     store.write_run(run_index, trace, decisions)
                 fingerprint = completed_outcome(trace)
-                generator.integrate(
+                signature = (
+                    prune_mod.signature_of(result, trace) if cfg.prune else None
+                )
+                saved_before = generator.replays_saved
+                pruned = generator.integrate(
                     trace,
                     seed_fresh=not (
                         cfg.outcome_dedup and fingerprint in witnessed_outcomes
                     ),
+                    signature=signature,
                 )
                 witnessed_outcomes.add(fingerprint)
                 self._record_run(report, run_index, decisions, result, trace, seen_error_keys)
@@ -943,10 +988,23 @@ class DampiVerifier:
                         self._journal_run_entry(
                             run_index, decisions, result, trace,
                             report, n_err, seen_error_keys, pre_seen,
+                            signature=signature, esc=esc,
                         )
                     )
                     applied += 1
                     since_checkpoint += 1
+                    if pruned:
+                        # audit record: resume re-derives the decision from
+                        # the run entry's trace + osig, so this is purely
+                        # for `repro stats` visibility and postmortems
+                        journal.append(
+                            {
+                                "t": "prune",
+                                "index": run_index,
+                                "flip": list(rec.flip) if rec.flip else None,
+                                "saved": generator.replays_saved - saved_before,
+                            }
+                        )
                     if since_checkpoint >= cfg.journal_checkpoint_interval:
                         self._journal_checkpoint(
                             journal, applied, generator, witnessed_outcomes, telemetry
@@ -965,6 +1023,24 @@ class DampiVerifier:
         report.parallel_stats = executor.stats()
         report.wall_seconds = time.perf_counter() - started
         telemetry.record_executor(report.parallel_stats)
+        if cfg.prune or cfg.adaptive_clocks:
+            report.prune_stats = {
+                "enabled": cfg.prune,
+                "adaptive_clocks": cfg.adaptive_clocks,
+                "subtrees_pruned": generator.prunes,
+                "replays_saved": generator.replays_saved,
+                **esc_stats,
+            }
+            m = telemetry.metrics
+            m.counter("prune.subtrees").inc(generator.prunes)
+            m.counter("prune.replays_saved").inc(generator.replays_saved)
+            m.counter("prune.escalations").inc(esc_stats["escalations"])
+            m.counter("prune.escalation_replays").inc(
+                esc_stats["escalation_replays"]
+            )
+            m.counter("prune.extra_alternatives").inc(
+                esc_stats["extra_alternatives"]
+            )
         if journal is not None:
             journal.append(
                 {
@@ -984,11 +1060,36 @@ class DampiVerifier:
         telemetry.finalize(report)
         return report
 
+    def _escalate(self, decisions, trace, esc_stats) -> Optional[int]:
+        """Adaptive clock escalation hook (no-op unless
+        ``config.adaptive_clocks`` and the run flagged scalar risk): one
+        vector-clock precision replay, whose vector-only alternatives are
+        injected into ``trace`` in place *before* it reaches the journal,
+        the artifact store, or the generator — so every downstream
+        consumer (resume, dist assembly) inherits the augmented trace for
+        free.  Returns the injected-alternative count, or None when no
+        escalation ran (the journal entry omits the field)."""
+        if not self.config.adaptive_clocks or not trace.scalar_risk:
+            return None
+        added = prune_mod.escalate_trace(
+            self.program,
+            self.nprocs,
+            self.config,
+            decisions,
+            trace,
+            args=self.args,
+            kwargs=self.kwargs,
+        )
+        esc_stats["escalations"] += 1
+        esc_stats["escalation_replays"] += 1
+        esc_stats["extra_alternatives"] += added
+        return added
+
     # -- journal plumbing ---------------------------------------------------------
 
     def _replay_journal(
         self, journal, history, report, telemetry, generator,
-        seen, witnessed, store,
+        seen, witnessed, store, esc_stats,
     ):
         """Rebuild the session state from a journal without executing
         anything: report state comes straight from the entries; DFS state
@@ -1020,9 +1121,22 @@ class DampiVerifier:
             else:
                 trace = jr.trace_from_jsonable(entry["trace"])
                 fingerprint = completed_outcome(trace)
+                if entry.get("esc") is not None:
+                    esc_stats["escalations"] += 1
+                    esc_stats["escalation_replays"] += 1
+                    esc_stats["extra_alternatives"] += entry["esc"]
+                # the stored trace already carries any escalation-injected
+                # alternatives; the outcome digest rides the entry, so the
+                # pruning decision replays deterministically without
+                # re-running anything
+                signature = (
+                    prune_mod.RunSignature(trace, entry["osig"])
+                    if self.config.prune and entry.get("osig") is not None
+                    else None
+                )
                 if run_index == 0:
                     if live:
-                        generator.seed(trace)
+                        generator.seed(trace, signature=signature)
                 elif live:
                     decisions = generator.next_decisions()
                     self._check_journal_schedule(journal, entry, decisions)
@@ -1031,6 +1145,7 @@ class DampiVerifier:
                         seed_fresh=not (
                             self.config.outcome_dedup and fingerprint in witnessed
                         ),
+                        signature=signature,
                     )
                 witnessed.add(fingerprint)
                 self._apply_run_entry(entry, trace, report, telemetry, seen)
@@ -1166,7 +1281,8 @@ class DampiVerifier:
         }
 
     def _journal_run_entry(
-        self, index, decisions, result, trace, report, n_err, seen, pre_seen
+        self, index, decisions, result, trace, report, n_err, seen, pre_seen,
+        signature=None, esc=None,
     ) -> dict:
         from repro.dampi import journal as jr
 
@@ -1191,6 +1307,10 @@ class DampiVerifier:
             "errors": [self._jsonable_error(e) for e in report.errors[n_err:]],
             "seen": sorted(list(k) for k in (seen - pre_seen)),
         }
+        if signature is not None:
+            entry["osig"] = signature.osig
+        if esc is not None:
+            entry["esc"] = esc
         if index == 0:
             entry["extras"] = {
                 "wildcards_analyzed": report.wildcards_analyzed,

@@ -70,6 +70,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.dampi import prune as prune_mod
 from repro.dampi.config import DampiConfig
 from repro.dampi.explorer import ScheduleGenerator
 from repro.dampi.journal import CampaignJournal, trace_from_jsonable
@@ -246,8 +247,25 @@ class DistCoordinator:
             if faults:
                 faults.fire("self", metrics=self.metrics)
             result, trace = self.verifier.run_once()
+            # augment the trace before it is journaled: resume and the
+            # assembly walk then replay the escalation deterministically
+            esc = self.verifier._escalate(
+                None, trace, {"escalations": 0, "escalation_replays": 0,
+                              "extra_alternatives": 0}
+            )
             self.verifier.close()
-            self.self_entry = run_entry(None, result, trace, include_monitor=True)
+            self.self_entry = run_entry(
+                None,
+                result,
+                trace,
+                include_monitor=True,
+                osig=(
+                    prune_mod.outcome_digest(result, trace)
+                    if cfg.prune
+                    else None
+                ),
+                esc=esc,
+            )
             self._journal_append({"t": "dself", "entry": self.self_entry})
         self_trace = trace_from_jsonable(self.self_entry["trace"])
         # Enumerate the initial frontier.  On resume this re-derives the
@@ -415,6 +433,8 @@ class DistCoordinator:
             if blob:
                 try:
                     _header, events = unpack_events(blob)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
                 except Exception:
                     self.metrics.inc("dist.worker_event_decode_errors")
                 else:
@@ -572,10 +592,31 @@ class DistCoordinator:
             stream=self._stream,
         )
         generator = ScheduleGenerator(
-            bound_k=cfg.bound_k, auto_loop_threshold=cfg.auto_loop_threshold
+            bound_k=cfg.bound_k,
+            auto_loop_threshold=cfg.auto_loop_threshold,
+            prune=cfg.prune,
         )
         seen: set = set()
         witnessed: set = set()
+        esc_stats = {
+            "escalations": 0,
+            "escalation_replays": 0,
+            "extra_alternatives": 0,
+        }
+
+        def note_esc(entry: dict) -> None:
+            # escalation stats are re-derived from the entries the walk
+            # actually uses — matching what a serial pruned campaign runs
+            if entry.get("esc") is not None:
+                esc_stats["escalations"] += 1
+                esc_stats["escalation_replays"] += 1
+                esc_stats["extra_alternatives"] += entry["esc"]
+
+        def entry_signature(entry: dict, trace):
+            if cfg.prune and entry.get("osig") is not None:
+                return prune_mod.RunSignature(trace, entry["osig"])
+            return None
+
         rec0 = self.self_entry
         trace = trace_from_jsonable(rec0["trace"])
         result = result_from_entry(rec0)
@@ -592,7 +633,8 @@ class DistCoordinator:
         report.self_run_vtime = result.makespan
         report.leak_report = result.artifacts.get("leaks")
         report.monitor_report = result.artifacts.get("monitor")
-        generator.seed(trace)
+        generator.seed(trace, signature=entry_signature(rec0, trace))
+        note_esc(rec0)
         witnessed.add(report.runs[0].outcome)
         run_index = 0
         while True:
@@ -622,7 +664,9 @@ class DistCoordinator:
                 seed_fresh=not (
                     cfg.outcome_dedup and fingerprint in witnessed
                 ),
+                signature=entry_signature(entry, trace),
             )
+            note_esc(entry)
             witnessed.add(fingerprint)
             self.verifier._record_run(
                 report, run_index, decisions, result, trace, seen
@@ -638,6 +682,24 @@ class DistCoordinator:
             )
         report.divergences = generator.divergences
         report.bound_frozen = generator.distance_frozen
+        if cfg.prune or cfg.adaptive_clocks:
+            report.prune_stats = {
+                "enabled": cfg.prune,
+                "adaptive_clocks": cfg.adaptive_clocks,
+                "subtrees_pruned": generator.prunes,
+                "replays_saved": generator.replays_saved,
+                **esc_stats,
+            }
+            m = telemetry.metrics
+            m.counter("prune.subtrees").inc(generator.prunes)
+            m.counter("prune.replays_saved").inc(generator.replays_saved)
+            m.counter("prune.escalations").inc(esc_stats["escalations"])
+            m.counter("prune.escalation_replays").inc(
+                esc_stats["escalation_replays"]
+            )
+            m.counter("prune.extra_alternatives").inc(
+                esc_stats["extra_alternatives"]
+            )
         report.parallel_stats = {
             "mode": "dist",
             "workers": self.workers,

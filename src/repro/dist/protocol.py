@@ -125,10 +125,15 @@ def run_entry(
     result,
     trace,
     include_monitor: bool = False,
+    osig: Optional[str] = None,
+    esc: Optional[int] = None,
 ) -> dict:
     """Serialize one executed run into a record entry (see module doc).
     ``include_monitor`` is for the coordinator's self entry — only run 0
-    feeds the report's monitor block."""
+    feeds the report's monitor block.  ``osig`` (the run's checker-outcome
+    digest) and ``esc`` (alternatives injected by a clock escalation) ride
+    along when pruning/adaptive clocks are on, so the assembly walk can
+    rebuild run signatures and escalation stats without the live result."""
     from repro.dampi import journal as jr
 
     pb = result.artifacts.get("piggyback")
@@ -156,6 +161,10 @@ def run_entry(
             if not isinstance(exc, DeadlockError)
         ],
     }
+    if osig is not None:
+        entry["osig"] = osig
+    if esc is not None:
+        entry["esc"] = esc
     if include_monitor:
         entry["monitor"] = jr.monitor_to_jsonable(result.artifacts.get("monitor"))
     return entry

@@ -69,6 +69,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Optional
 
+from repro.dampi import prune as prune_mod
 from repro.dampi.explorer import ScheduleGenerator
 from repro.dampi.journal import CampaignJournal, trace_from_jsonable
 from repro.dampi.verifier import DampiVerifier
@@ -139,6 +140,17 @@ class _ShardWorker:
         #: selector (1-based, memo hits included: "before consuming")
         self._seq = 0
         self._runs = 0
+        #: adaptive-clock escalations run by this worker (fresh replays
+        #: only — memoized entries were escalated when first executed)
+        self._esc_stats = {
+            "escalations": 0,
+            "escalation_replays": 0,
+            "extra_alternatives": 0,
+        }
+        #: subtree prunes across this worker's leases (worker-local walk
+        #: shortcuts; the assembly recomputes the deterministic totals)
+        self._prunes = 0
+        self._replays_saved = 0
         self._lease_id: Optional[str] = None
         self._gen: Optional[ScheduleGenerator] = None
         self._alive = True
@@ -230,6 +242,22 @@ class _ShardWorker:
             if v:
                 self.metrics.inc(f"ckpt.{name}", round(v, 3))
 
+    def _fold_prune_metrics(self) -> None:
+        """Fold prune/escalation counts into the ``bye`` snapshot.  They
+        ride ``dist.worker_*`` — lease partitioning and steals decide
+        which subtrees (and thus which prune opportunities) each worker
+        sees, so the totals are worker-count-dependent; the deterministic
+        ``prune.*`` numbers come from the coordinator's assembly."""
+        for name, n in (
+            ("worker_prunes", self._prunes),
+            ("worker_replays_saved", self._replays_saved),
+            ("worker_escalations", self._esc_stats["escalations"]),
+            ("worker_escalation_replays", self._esc_stats["escalation_replays"]),
+            ("worker_extra_alternatives", self._esc_stats["extra_alternatives"]),
+        ):
+            if n:
+                self.metrics.inc(f"dist.{name}", n)
+
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> None:
@@ -254,6 +282,7 @@ class _ShardWorker:
             if frame.get("t") == "shutdown":
                 self._alive = False
                 self._fold_checkpoint_metrics()
+                self._fold_prune_metrics()
                 bye = {
                     "t": "bye",
                     "stats": {"runs": self._runs},
@@ -270,9 +299,16 @@ class _ShardWorker:
                 self._explore(frame["id"], frame["spec"])
 
     def _explore(self, lease_id_: str, spec: dict) -> None:
+        # Pruning in a shard is a pure walk shortcut: the worker's
+        # signature map at any unpinned subtree node is a subset of the
+        # assembly generator's at the same node (stamped from the same
+        # subtree runs, in the same DFS order), so every schedule the
+        # worker prunes away is one the assembly walk provably never
+        # requests — no coverage hole, just replays not executed.
         gen = ScheduleGenerator(
             bound_k=self.config.bound_k,
             auto_loop_threshold=self.config.auto_loop_threshold,
+            prune=self.config.prune,
         )
         self._gen = gen
         self._lease_id = lease_id_
@@ -318,13 +354,34 @@ class _ShardWorker:
                     trace = trace_from_jsonable(entry["trace"])
                 else:
                     result, trace = self.verifier.run_once(decisions)
-                    entry = run_entry(decisions, result, trace)
+                    # escalate BEFORE the trace is journaled or streamed:
+                    # the memo, the coordinator, and the assembly all
+                    # inherit the augmented alternatives for free
+                    esc = self.verifier._escalate(
+                        decisions, trace, self._esc_stats
+                    )
+                    entry = run_entry(
+                        decisions,
+                        result,
+                        trace,
+                        osig=(
+                            prune_mod.outcome_digest(result, trace)
+                            if self.config.prune
+                            else None
+                        ),
+                        esc=esc,
+                    )
                     if journal is not None:
                         journal.append({"t": "srun", "k": kstr, "entry": entry})
                     self.metrics.inc("exec.replays")
                 self._runs += 1
                 self._send({"t": "record", "lease": lease_id_, "entry": entry})
-                gen.integrate(trace)
+                signature = (
+                    prune_mod.RunSignature(trace, entry["osig"])
+                    if self.config.prune and entry.get("osig") is not None
+                    else None
+                )
+                gen.integrate(trace, signature=signature)
                 discoveries = gen.take_pinned_discoveries()
                 if discoveries:
                     self._send(
@@ -337,6 +394,8 @@ class _ShardWorker:
         finally:
             self._gen = None
             self._lease_id = None
+            self._prunes += gen.prunes
+            self._replays_saved += gen.replays_saved
             self.tracer.complete(
                 "lease", "dist", lease_t0, lease=lease_id_, runs=self._runs
             )

@@ -95,6 +95,28 @@ def _dist_lines(counters: dict, gauges: dict) -> List[str]:
     return lines
 
 
+def _prune_lines(payload: dict) -> List[str]:
+    """Pruning / adaptive-clock summary from ``prune_stats`` (absent
+    unless the campaign ran with either feature on)."""
+    ps = payload.get("prune_stats") or {}
+    if not ps:
+        return []
+    lines = []
+    if ps.get("enabled"):
+        lines.append(
+            f"  pruning           : {ps.get('subtrees_pruned', 0)} "
+            f"subtree(s) pruned, {ps.get('replays_saved', 0)} "
+            f"replay(s) saved"
+        )
+    if ps.get("adaptive_clocks"):
+        lines.append(
+            f"  adaptive clocks   : {ps.get('escalations', 0)} "
+            f"escalation(s), {ps.get('extra_alternatives', 0)} "
+            f"vector-only alternative(s)"
+        )
+    return lines
+
+
 def render_report_summary(payload: dict) -> str:
     """Campaign summary table from a report JSON (v3) payload."""
     lines = [
@@ -105,6 +127,7 @@ def render_report_summary(payload: dict) -> str:
         f"  errors            : {len(payload.get('errors') or [])}",
         f"  wall-clock        : {payload.get('wall_seconds', 0.0):.2f} s",
     ]
+    lines += _prune_lines(payload)
     telemetry = payload.get("telemetry") or {}
     metrics = telemetry.get("metrics") or {}
     counters = metrics.get("counters") or {}
@@ -248,7 +271,7 @@ def journal_progress(path) -> dict:
             1 for e in journal.entries if e.get("t") == "srun"
         )
     else:  # serial campaign
-        runs = failures = checkpoints = errors = 0
+        runs = failures = checkpoints = errors = prunes = 0
         for e in journal.entries:
             t = e.get("t")
             if t == "run":
@@ -258,11 +281,31 @@ def journal_progress(path) -> dict:
                 failures += 1
             elif t == "checkpoint":
                 checkpoints += 1
+            elif t == "prune":
+                prunes += 1
         progress.update(
             runs=runs, failures=failures, checkpoints=checkpoints,
-            errors=errors,
+            errors=errors, prunes=prunes,
         )
     return progress
+
+
+#: tightest supported ``--follow`` poll cadence: a full journal re-read
+#: every 50 ms is already aggressive, and ``--interval 0`` would pin a
+#: core busy-spinning the reader
+MIN_FOLLOW_INTERVAL = 0.05
+
+
+def follow_interval(interval: float) -> float:
+    """Clamp a ``--follow`` polling interval to the supported floor.
+    Negative intervals are a caller error — the CLI rejects them with a
+    pointed message before ever polling."""
+    if interval < 0:
+        raise ValueError(
+            f"--interval must be >= 0 (got {interval}); polling backwards "
+            f"in time is not a thing"
+        )
+    return max(MIN_FOLLOW_INTERVAL, float(interval))
 
 
 def journal_follow_line(progress: dict) -> str:
@@ -317,4 +360,6 @@ def render_journal_summary(progress: dict) -> str:
             f"  replay failures   : {progress.get('failures', 0)}",
             f"  checkpoints       : {progress.get('checkpoints', 0)}",
         ]
+        if progress.get("prunes"):
+            lines.append(f"  subtrees pruned   : {progress['prunes']}")
     return "\n".join(lines)

@@ -139,6 +139,8 @@ class TestExplorerStats:
             "frozen_nodes",
             "open_alternatives",
             "divergences",
+            "prunes",
+            "replays_saved",
         }
 
 

@@ -424,6 +424,47 @@ class TestJournalStats:
             main(["stats", str(f), "--follow"])
 
 
+class TestFollowInterval:
+    """``--follow --interval`` hygiene: interval 0 used to busy-spin the
+    journal reader at 100% CPU; negatives were silently treated as the
+    old 0.1s floor."""
+
+    def test_zero_clamps_to_floor(self):
+        from repro.obs.stats import MIN_FOLLOW_INTERVAL, follow_interval
+
+        assert follow_interval(0) == MIN_FOLLOW_INTERVAL
+        assert follow_interval(0.01) == MIN_FOLLOW_INTERVAL
+        assert follow_interval(2.0) == 2.0
+
+    def test_negative_rejected_with_pointed_error(self):
+        from repro.obs.stats import follow_interval
+
+        with pytest.raises(ValueError, match="--interval must be >= 0"):
+            follow_interval(-1)
+
+    def test_cli_rejects_negative_interval(self, tmp_path):
+        from repro.cli import main
+
+        jdir = tmp_path / "journal"
+        DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=dict(LATTICE_KW)
+        ).verify(journal=jdir)
+        with pytest.raises(SystemExit, match="--interval must be >= 0"):
+            main(["stats", str(jdir), "--follow", "--interval", "-1"])
+
+    def test_cli_interval_zero_completes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # a complete journal: the follow loop prints one line and exits,
+        # so interval 0 exercises only the clamp (no sleep happens)
+        jdir = tmp_path / "journal"
+        DampiVerifier(
+            wildcard_lattice, 3, DampiConfig(), kwargs=dict(LATTICE_KW)
+        ).verify(journal=jdir)
+        assert main(["stats", str(jdir), "--follow", "--interval", "0"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+
 # --------------------------------------------------------------------- #
 # CLI tracing defaults and .revt export                                  #
 # --------------------------------------------------------------------- #
@@ -456,6 +497,12 @@ class TestCliTracing:
 
         with pytest.raises(SystemExit, match="--no-trace"):
             main(self.ARGS + ["--no-trace", "--revt-out", str(tmp_path / "x")])
+
+    def test_no_trace_conflicts_with_trace_sample(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--trace-sample"):
+            main(self.ARGS + ["--no-trace", "--trace-sample", "4"])
 
     def test_revt_export_and_stats(self, tmp_path, capsys):
         from repro.cli import main
